@@ -1,0 +1,163 @@
+//! Static equi-depth (MHist-style) histogram.
+
+use serde::{Deserialize, Serialize};
+use sth_data::Dataset;
+use sth_geometry::Rect;
+use sth_query::CardinalityEstimator;
+
+/// A static multidimensional histogram built by greedy recursive splitting:
+/// repeatedly take the bucket with the most tuples and split it at the
+/// median along its most spread-out dimension, until the bucket budget is
+/// reached. This is the shape of MHist (Poosala & Ioannidis, VLDB'97) with
+/// an equal-count split criterion.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EquiDepthHistogram {
+    buckets: Vec<(Rect, u32)>,
+}
+
+impl EquiDepthHistogram {
+    /// Builds the histogram with at most `budget` buckets.
+    pub fn build(data: &Dataset, budget: usize) -> Self {
+        assert!(budget >= 1);
+        let all: Vec<u32> = (0..data.len() as u32).collect();
+        let mut buckets: Vec<(Rect, Vec<u32>)> = vec![(data.domain().clone(), all)];
+        while buckets.len() < budget {
+            // Fullest splittable bucket.
+            let Some(victim) = buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, ids))| ids.len() >= 2)
+                .max_by_key(|(_, (_, ids))| ids.len())
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            let (rect, ids) = buckets.swap_remove(victim);
+            // Dimension with the largest value spread among member tuples.
+            let dim = (0..data.ndim())
+                .max_by(|&a, &b| {
+                    let spread = |d: usize| {
+                        let mut mn = f64::INFINITY;
+                        let mut mx = f64::NEG_INFINITY;
+                        for &i in &ids {
+                            let v = data.value(i as usize, d);
+                            mn = mn.min(v);
+                            mx = mx.max(v);
+                        }
+                        mx - mn
+                    };
+                    spread(a).partial_cmp(&spread(b)).unwrap()
+                })
+                .unwrap();
+            let mut vals: Vec<f64> = ids.iter().map(|&i| data.value(i as usize, dim)).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median = vals[vals.len() / 2];
+            if median <= rect.lo()[dim] || median >= rect.hi()[dim] {
+                // All values identical (or at the edge): not splittable along
+                // any useful axis — give up on this bucket.
+                buckets.push((rect, ids));
+                break;
+            }
+            let left_rect = rect.with_dim(dim, rect.lo()[dim], median);
+            let right_rect = rect.with_dim(dim, median, rect.hi()[dim]);
+            let (left_ids, right_ids): (Vec<u32>, Vec<u32>) =
+                ids.into_iter().partition(|&i| data.value(i as usize, dim) < median);
+            if left_ids.is_empty() || right_ids.is_empty() {
+                // Median split failed to separate (ties); stop splitting this
+                // bucket to guarantee progress.
+                buckets.push((left_rect.hull(&right_rect), left_ids.into_iter().chain(right_ids).collect()));
+                break;
+            }
+            buckets.push((left_rect, left_ids));
+            buckets.push((right_rect, right_ids));
+        }
+        Self {
+            buckets: buckets.into_iter().map(|(r, ids)| (r, ids.len() as u32)).collect(),
+        }
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+impl CardinalityEstimator for EquiDepthHistogram {
+    fn estimate(&self, rect: &Rect) -> f64 {
+        self.buckets
+            .iter()
+            .map(|(r, count)| {
+                let overlap = r.overlap_volume(rect);
+                if overlap > 0.0 {
+                    *count as f64 * overlap / r.volume()
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+
+    fn name(&self) -> &str {
+        "equidepth"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sth_data::cross::CrossSpec;
+
+    #[test]
+    fn builds_requested_buckets() {
+        let ds = CrossSpec::cross2d().scaled(0.02).generate();
+        let h = EquiDepthHistogram::build(&ds, 32);
+        assert_eq!(h.bucket_count(), 32);
+        assert!((h.estimate(ds.domain()) - ds.len() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn buckets_partition_counts() {
+        let ds = CrossSpec::cross2d().scaled(0.02).generate();
+        let h = EquiDepthHistogram::build(&ds, 16);
+        let total: u32 = h.buckets.iter().map(|(_, c)| c).sum();
+        assert_eq!(total as usize, ds.len());
+    }
+
+    #[test]
+    fn improves_over_trivial() {
+        let ds = CrossSpec::cross2d().scaled(0.05).generate();
+        let h = EquiDepthHistogram::build(&ds, 64);
+        let t = crate::TrivialHistogram::for_dataset(&ds);
+        let mut err_h = 0.0;
+        let mut err_t = 0.0;
+        for x in (0..900).step_by(100) {
+            for y in (0..900).step_by(100) {
+                let q = Rect::from_bounds(&[x as f64, y as f64], &[x as f64 + 100.0, y as f64 + 100.0]);
+                let truth = ds.count_in_scan(&q) as f64;
+                err_h += (h.estimate(&q) - truth).abs();
+                err_t += (t.estimate(&q) - truth).abs();
+            }
+        }
+        assert!(err_h < err_t, "equidepth {err_h} not better than trivial {err_t}");
+    }
+
+    #[test]
+    fn single_bucket_budget() {
+        let ds = CrossSpec::cross2d().scaled(0.01).generate();
+        let h = EquiDepthHistogram::build(&ds, 1);
+        assert_eq!(h.bucket_count(), 1);
+    }
+
+    #[test]
+    fn degenerate_identical_points() {
+        let n = 100;
+        let ds = Dataset::from_columns(
+            "dups",
+            Rect::cube(2, 0.0, 10.0),
+            vec![vec![5.0; n], vec![5.0; n]],
+        );
+        let h = EquiDepthHistogram::build(&ds, 8);
+        assert!(h.bucket_count() >= 1);
+        assert!((h.estimate(ds.domain()) - n as f64).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,28 @@
+//! Baseline cardinality estimators.
+//!
+//! * [`TrivialHistogram`] — the single-bucket histogram `H0` the paper uses
+//!   to normalize errors (Eq. 10): it knows only the table cardinality and
+//!   assumes global uniformity.
+//! * [`EquiWidthGrid`] — a static d-dimensional equi-width grid histogram.
+//! * [`EquiDepthHistogram`] — a static MHist-style histogram built by
+//!   greedily median-splitting the fullest bucket (the MHist family of
+//!   Poosala & Ioannidis, simplified to equal-count splits).
+//! * [`AviHistogram`] — per-attribute 1-D equi-depth histograms combined
+//!   under the Attribute Value Independence assumption; the production
+//!   default the paper's motivating example defeats.
+//!
+//! The static baselines are not part of the paper's evaluation (it compares
+//! only against uninitialized STHoles, §5) but give library users reference
+//! points and power the ablation benches.
+
+#![warn(missing_docs)]
+
+mod avi;
+mod equidepth;
+mod equiwidth;
+mod trivial;
+
+pub use avi::AviHistogram;
+pub use equidepth::EquiDepthHistogram;
+pub use equiwidth::EquiWidthGrid;
+pub use trivial::TrivialHistogram;

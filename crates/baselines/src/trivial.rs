@@ -1,0 +1,71 @@
+//! The trivial single-bucket histogram `H0`.
+
+use serde::{Deserialize, Serialize};
+use sth_geometry::Rect;
+use sth_query::CardinalityEstimator;
+
+/// `H0`: one bucket storing only the table cardinality, with the uniformity
+/// assumption over the whole domain. Used by the paper to normalize errors
+/// (Eq. 10): `NAE(H, W) = E(H, W) / E(H0, W)`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrivialHistogram {
+    domain: Rect,
+    total: f64,
+}
+
+impl TrivialHistogram {
+    /// Creates `H0` for a table of `total` tuples over `domain`.
+    pub fn new(domain: Rect, total: f64) -> Self {
+        assert!(total >= 0.0 && total.is_finite());
+        Self { domain, total }
+    }
+
+    /// Builds `H0` for a dataset.
+    pub fn for_dataset(data: &sth_data::Dataset) -> Self {
+        Self::new(data.domain().clone(), data.len() as f64)
+    }
+
+    /// The stored table cardinality.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+}
+
+impl CardinalityEstimator for TrivialHistogram {
+    fn estimate(&self, rect: &Rect) -> f64 {
+        let overlap = self.domain.overlap_volume(rect);
+        let vol = self.domain.volume();
+        if vol > 0.0 {
+            self.total * overlap / vol
+        } else {
+            0.0
+        }
+    }
+
+    fn name(&self) -> &str {
+        "trivial"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_estimates() {
+        let h = TrivialHistogram::new(Rect::cube(2, 0.0, 10.0), 400.0);
+        assert_eq!(h.estimate(&Rect::cube(2, 0.0, 10.0)), 400.0);
+        assert_eq!(h.estimate(&Rect::cube(2, 0.0, 5.0)), 100.0);
+        assert_eq!(h.estimate(&Rect::cube(2, 20.0, 30.0)), 0.0);
+        // Query partially outside the domain counts only the overlap.
+        let half_out = Rect::from_bounds(&[5.0, 0.0], &[15.0, 10.0]);
+        assert_eq!(h.estimate(&half_out), 200.0);
+    }
+
+    #[test]
+    fn for_dataset_uses_len() {
+        let ds = sth_data::cross::CrossSpec::cross2d().scaled(0.01).generate();
+        let h = TrivialHistogram::for_dataset(&ds);
+        assert_eq!(h.total(), ds.len() as f64);
+    }
+}

@@ -1,0 +1,138 @@
+//! Ablation benches for the design choices called out in DESIGN.md. Each
+//! group runs variants of one design decision on the same fixture and
+//! reports the resulting normalized error through the bench label (the
+//! timing is the cost of the variant; the printed NAE comparison lives in
+//! EXPERIMENTS.md).
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sth_bench::micro_ctx;
+use sth_core::{BrMode, InitConfig, InitOrder};
+use sth_eval::{run_simulation, DatasetSpec, RunConfig, Variant};
+use sth_histogram::MergePolicy;
+use sth_mineclus::{
+    Clique, CliqueConfig, Doc, DocConfig, MineClus, MineClusConfig, Proclus, ProclusConfig,
+    SubspaceClustering,
+};
+use sth_query::{SelfTuning, WorkloadSpec};
+
+fn run_cfg() -> RunConfig {
+    let ctx = micro_ctx();
+    RunConfig {
+        train: ctx.train,
+        sim: ctx.sim,
+        cluster_sample: ctx.cluster_sample,
+        ..RunConfig::paper(30, ctx.seed)
+    }
+}
+
+/// Extended BR vs plain MBR initialization (§4.1, Fig. 6).
+fn ablation_br_mode(c: &mut Criterion) {
+    let prep = micro_ctx().prepare(DatasetSpec::Gauss);
+    let mut g = c.benchmark_group("ablation_br_mode");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    for (label, mode) in [("extended", BrMode::Extended), ("minimal", BrMode::Minimal)] {
+        let variant = Variant::Initialized {
+            mineclus: MineClusConfig::default(),
+            init: InitConfig { br_mode: mode, ..InitConfig::default() },
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(run_simulation(&prep, &variant, &run_cfg()).nae));
+        });
+    }
+    g.finish();
+}
+
+/// Importance vs reversed vs random feeding order (§5.3, Fig. 13).
+fn ablation_init_order(c: &mut Criterion) {
+    let prep = micro_ctx().prepare(DatasetSpec::Sky);
+    let mut g = c.benchmark_group("ablation_init_order");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    for (label, order) in [
+        ("importance", InitOrder::Importance),
+        ("reversed", InitOrder::Reversed),
+        ("random", InitOrder::Random(7)),
+    ] {
+        let variant = Variant::Initialized {
+            mineclus: MineClusConfig::default(),
+            init: InitConfig { order, ..InitConfig::default() },
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(run_simulation(&prep, &variant, &run_cfg()).nae));
+        });
+    }
+    g.finish();
+}
+
+/// MineClus vs DOC vs CLIQUE as the initializer.
+fn ablation_initializer(c: &mut Criterion) {
+    let prep = micro_ctx().prepare(DatasetSpec::Gauss);
+    let algorithms: Vec<(&str, Box<dyn SubspaceClustering>)> = vec![
+        ("mineclus", Box::new(MineClus::new(MineClusConfig::default()))),
+        ("doc", Box::new(Doc::new(DocConfig::default()))),
+        ("clique", Box::new(Clique::new(CliqueConfig::default()))),
+        ("proclus", Box::new(Proclus::new(ProclusConfig::default()))),
+    ];
+    let mut g = c.benchmark_group("ablation_initializer");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    for (label, alg) in &algorithms {
+        g.bench_function(*label, |b| {
+            b.iter(|| {
+                let (hist, report) = sth_core::build_initialized(
+                    &prep.data,
+                    30,
+                    alg.as_ref(),
+                    &InitConfig::default(),
+                    micro_ctx().cluster_sample,
+                    &*prep.index,
+                );
+                black_box((hist.bucket_count(), report.fed))
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Full merge policy vs restricted variants.
+fn ablation_merge_policy(c: &mut Criterion) {
+    let prep = micro_ctx().prepare(DatasetSpec::Cross2d);
+    let wl = WorkloadSpec { count: 200, ..WorkloadSpec::paper(0.01, 21) }
+        .generate(prep.data.domain(), None);
+    let mut g = c.benchmark_group("ablation_merge_policy");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    for (label, policy) in [
+        ("all", MergePolicy::All),
+        ("parent_child_only", MergePolicy::ParentChildOnly),
+        ("sibling_first", MergePolicy::SiblingFirst),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut h = sth_core::build_uninitialized(&prep.data, 30);
+                h.set_merge_policy(policy);
+                for q in wl.queries() {
+                    h.refine(q.rect(), &*prep.index);
+                }
+                black_box(h.bucket_count())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_br_mode,
+    ablation_init_order,
+    ablation_initializer,
+    ablation_merge_policy
+);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Microbenchmarks of the histogram's core operations: estimation, hole
+//! drilling, merge search, and exact range counting (k-d tree vs scan).
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sth_bench::cross_fixture;
+use sth_core::build_uninitialized;
+use sth_geometry::Rect;
+use sth_index::{RangeCounter, ScanCounter};
+use sth_query::{CardinalityEstimator, SelfTuning, WorkloadSpec};
+
+/// Builds a trained histogram with ~`buckets` buckets for estimation
+/// benches.
+fn trained_histogram(buckets: usize) -> (sth_histogram::StHoles, Vec<Rect>) {
+    let prep = cross_fixture();
+    let mut h = build_uninitialized(&prep.data, buckets);
+    let wl = WorkloadSpec { count: 300, ..WorkloadSpec::paper(0.01, 3) }
+        .generate(prep.data.domain(), None);
+    for q in wl.queries() {
+        h.refine(q.rect(), &*prep.index);
+    }
+    let probes: Vec<Rect> =
+        wl.queries().iter().take(64).map(|q| q.rect().clone()).collect();
+    (h, probes)
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("estimate");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for buckets in [50usize, 250] {
+        let (h, probes) = trained_histogram(buckets);
+        g.bench_function(format!("buckets_{buckets}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &probes[i % probes.len()];
+                i += 1;
+                black_box(h.estimate(q))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_refine(c: &mut Criterion) {
+    let prep = cross_fixture();
+    let wl = WorkloadSpec { count: 2_000, ..WorkloadSpec::paper(0.01, 5) }
+        .generate(prep.data.domain(), None);
+    let mut g = c.benchmark_group("refine");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    for buckets in [50usize, 250] {
+        g.bench_function(format!("budget_{buckets}"), |b| {
+            b.iter(|| {
+                let mut h = build_uninitialized(&prep.data, buckets);
+                for q in wl.queries().iter().take(200) {
+                    h.refine(q.rect(), &*prep.index);
+                }
+                black_box(h.bucket_count())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_best_merge(c: &mut Criterion) {
+    let (mut h, _) = trained_histogram(250);
+    c.bench_function("best_merge_scan_250", |b| b.iter(|| black_box(h.best_merge())));
+}
+
+fn bench_counting(c: &mut Criterion) {
+    // `ablation_index`: the k-d tree vs a full scan for exact range counts.
+    let prep = cross_fixture();
+    let scan = ScanCounter::new(&prep.data);
+    let queries: Vec<Rect> = WorkloadSpec { count: 64, ..WorkloadSpec::paper(0.01, 9) }
+        .generate(prep.data.domain(), None)
+        .queries()
+        .iter()
+        .map(|q| q.rect().clone())
+        .collect();
+    let mut g = c.benchmark_group("ablation_index");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("kd_tree", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(prep.index.count(q))
+        });
+    });
+    g.bench_function("scan", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(scan.count(q))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_estimate, bench_refine, bench_best_merge, bench_counting);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! One bench per paper table/figure: each runs the corresponding experiment
+//! end-to-end at a micro scale, so `cargo bench` regenerates every artifact
+//! and tracks the cost of doing so.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sth_bench::micro_ctx;
+use sth_eval::experiments::run_by_id;
+
+fn bench_experiments(c: &mut Criterion) {
+    let ctx = micro_ctx();
+    let mut g = c.benchmark_group("paper_artifacts");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    for (bench_name, id) in [
+        ("table1_datasets", "table1"),
+        ("table2_param_sweep", "table2"),
+        ("table3_cross_variants", "table3"),
+        ("table4_sky_clustering", "table4"),
+        ("fig9_cross_scatter", "fig9"),
+        ("fig10_gauss_scatter", "fig10"),
+        ("fig11_cross_accuracy", "fig11"),
+        ("fig12_gauss_accuracy", "fig12"),
+        ("fig13_sky_accuracy", "fig13"),
+        ("fig14_sky_volume", "fig14"),
+        ("fig15_dimensionality", "fig15"),
+        ("fig16_stagnation", "fig16"),
+        ("fig17_training_budget", "fig17"),
+        ("survival_subspace_buckets", "survival"),
+        ("sensitivity_permutations", "sensitivity"),
+    ] {
+        g.bench_function(bench_name, |b| {
+            b.iter(|| {
+                let table = run_by_id(id, &ctx).expect("known experiment id");
+                black_box(table.rows.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

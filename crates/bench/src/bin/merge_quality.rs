@@ -1,0 +1,45 @@
+//! Development tool: quantify the quality impact of the capped sibling-pair
+//! search against the exact all-pairs search.
+//!
+//! ```text
+//! cargo run -p sth-bench --release --bin merge_quality -- [scale] [queries] [buckets]
+//! ```
+
+use sth_baselines::TrivialHistogram;
+use sth_data::gauss::GaussSpec;
+use sth_eval::{evaluate_self_tuning, evaluate_static, normalized_absolute_error};
+use sth_geometry::Rect;
+use sth_histogram::{SthConfig, StHoles};
+use sth_index::KdCountTree;
+use sth_query::WorkloadSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let queries: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let buckets: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
+
+    let data = GaussSpec::paper().scaled(scale).generate();
+    let index = KdCountTree::build(&data);
+    let wl = WorkloadSpec { count: 2 * queries, ..WorkloadSpec::paper(0.01, 0xE0) }
+        .generate(data.domain(), None);
+    let (train, sim) = wl.split_train(queries);
+    let h0 = TrivialHistogram::for_dataset(&data);
+    let trivial = evaluate_static(&h0, &sim, &index);
+
+    for cap in [Some(2usize), Some(6), Some(12), None] {
+        let config = SthConfig { sibling_neighbor_cap: cap, ..SthConfig::with_budget(buckets) };
+        let mut h = StHoles::with_config(data.domain().clone(), config, data.len() as f64);
+        let domain: Rect = data.domain().clone();
+        let _ = &domain;
+        let t0 = std::time::Instant::now();
+        evaluate_self_tuning(&mut h, &train, &index, true);
+        let mae = evaluate_self_tuning(&mut h, &sim, &index, true);
+        println!(
+            "cap {:?}: NAE {:.3}  ({:.1}s)",
+            cap,
+            normalized_absolute_error(mae, trivial),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

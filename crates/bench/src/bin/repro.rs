@@ -1,0 +1,128 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p sth-bench --release --bin repro -- all --scale 0.1
+//! cargo run -p sth-bench --release --bin repro -- fig11 fig13 --quick
+//! cargo run -p sth-bench --release --bin repro -- table2 --paper      # full size, hours
+//! ```
+//!
+//! Tables print to stdout; with `--out DIR` each is also written as CSV.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sth_bench::default_repro_ctx;
+use sth_eval::experiments::{run_by_id, ALL_IDS};
+use sth_eval::ExperimentCtx;
+
+struct Args {
+    ids: Vec<String>,
+    ctx: ExperimentCtx,
+    out: Option<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: repro [IDS|all] [options]\n\
+     \n\
+     experiment ids:\n\
+       table1 table2 table3 table4 fig9 fig10 fig11 fig12 fig13 fig14\n\
+       fig15 fig16 fig17 survival sensitivity   (or: all)\n\
+     \n\
+     options:\n\
+       --quick          tiny setting (~minutes for 'all')\n\
+       --paper          full paper scale (hours; needs RAM for 13.5M-tuple Cross5d)\n\
+       --scale F        tuple-count scale relative to the paper (default 0.1)\n\
+       --train N        training queries (default 1000)\n\
+       --sim N          simulation queries (default 1000)\n\
+       --buckets A,B,C  bucket budgets (default 50,100,150,200,250)\n\
+       --sample N       clustering sample cap (default 30000)\n\
+       --seed N         workload seed\n\
+       --out DIR        also write each table as CSV into DIR"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut ids = Vec::new();
+    let mut ctx = default_repro_ctx();
+    let mut out = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i).cloned().ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => ctx = ExperimentCtx::quick(),
+            "--paper" => ctx = ExperimentCtx::paper(),
+            "--scale" => ctx.scale = value(&mut i)?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--train" => ctx.train = value(&mut i)?.parse().map_err(|e| format!("--train: {e}"))?,
+            "--sim" => ctx.sim = value(&mut i)?.parse().map_err(|e| format!("--sim: {e}"))?,
+            "--seed" => ctx.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--sample" => {
+                ctx.cluster_sample =
+                    Some(value(&mut i)?.parse().map_err(|e| format!("--sample: {e}"))?)
+            }
+            "--buckets" => {
+                ctx.buckets = value(&mut i)?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--buckets: {e}")))
+                    .collect::<Result<Vec<usize>, String>>()?;
+                if ctx.buckets.is_empty() {
+                    return Err("--buckets needs at least one value".into());
+                }
+            }
+            "--out" => out = Some(PathBuf::from(value(&mut i)?)),
+            "--help" | "-h" => return Err(String::new()),
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            id if ALL_IDS.contains(&id) => ids.push(id.to_string()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        ids.extend(ALL_IDS.iter().map(|s| s.to_string()));
+    }
+    ids.dedup();
+    Ok(Args { ids, ctx, out })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("{}", usage());
+            return if e.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) };
+        }
+    };
+    if let Some(dir) = &args.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "# repro: scale={}, train={}, sim={}, buckets={:?}, sample={:?}, seed={}\n",
+        args.ctx.scale, args.ctx.train, args.ctx.sim, args.ctx.buckets, args.ctx.cluster_sample,
+        args.ctx.seed
+    );
+    for id in &args.ids {
+        let t0 = std::time::Instant::now();
+        let Some(table) = run_by_id(id, &args.ctx) else {
+            eprintln!("warning: unknown experiment id '{id}' skipped");
+            continue;
+        };
+        println!("{table}");
+        println!("  [{id} finished in {:.1}s]\n", t0.elapsed().as_secs_f64());
+        if let Some(dir) = &args.out {
+            let path = dir.join(format!("{id}.csv"));
+            if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,51 @@
+//! Parameter exploration helper (development tool): init-vs-uninit NAE on
+//! Sky for a grid of MineClus parameters.
+//!
+//! ```text
+//! cargo run -p sth-bench --release --bin tune -- [scale] [queries] [buckets]
+//! ```
+
+use sth_core::InitConfig;
+use sth_eval::{run_simulation, DatasetSpec, ExperimentCtx, RunConfig, Variant};
+use sth_mineclus::MineClusConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let queries: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let buckets: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
+
+    let ctx = ExperimentCtx {
+        scale,
+        train: queries,
+        sim: queries,
+        buckets: vec![buckets],
+        cluster_sample: Some(20_000),
+        seed: 0xE0,
+    };
+    let prep = ctx.prepare(DatasetSpec::Sky);
+    let base = RunConfig {
+        train: ctx.train,
+        sim: ctx.sim,
+        cluster_sample: ctx.cluster_sample,
+        ..RunConfig::paper(buckets, ctx.seed)
+    };
+    let uninit = run_simulation(&prep, &Variant::Uninitialized, &base);
+    println!("uninitialized: NAE {:.3}", uninit.nae);
+    for width in [40.0, 60.0, 100.0, 150.0, 220.0] {
+        for (alpha, max_clusters) in [(0.01, 32), (0.02, 20), (0.05, 12)] {
+            let v = Variant::Initialized {
+                mineclus: MineClusConfig { alpha, width, max_clusters, ..MineClusConfig::default() },
+                init: InitConfig::default(),
+            };
+            let out = run_simulation(&prep, &v, &base);
+            let report = out.init_report.unwrap();
+            println!(
+                "width {width:>5.0} alpha {alpha:.2} cap {max_clusters:>2}: NAE {:.3}  ({} clusters, {} subspace)",
+                out.nae,
+                report.clusters.len(),
+                report.subspace_cluster_count(7),
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Shared fixtures for the Criterion benches and the `repro` binary.
+
+#![warn(missing_docs)]
+
+use sth_eval::{DatasetSpec, ExperimentCtx, PreparedDataset};
+
+/// A micro experiment context for Criterion: small enough that one
+/// experiment iteration takes well under a second, large enough that every
+/// code path (clustering, drilling, merging, normalization) is exercised.
+pub fn micro_ctx() -> ExperimentCtx {
+    ExperimentCtx {
+        scale: 0.01,
+        train: 40,
+        sim: 40,
+        buckets: vec![20],
+        cluster_sample: Some(2_000),
+        seed: 0xBE,
+    }
+}
+
+/// A small-but-meaningful context for the default `repro` run: ~10% tuples,
+/// the paper's query counts, three bucket budgets.
+pub fn default_repro_ctx() -> ExperimentCtx {
+    ExperimentCtx {
+        scale: 0.1,
+        train: 1_000,
+        sim: 1_000,
+        buckets: vec![50, 100, 150, 200, 250],
+        cluster_sample: Some(30_000),
+        seed: 0xE0,
+    }
+}
+
+/// Prepares the small Cross fixture used by several benches.
+pub fn cross_fixture() -> PreparedDataset {
+    micro_ctx().prepare(DatasetSpec::Cross2d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let p = cross_fixture();
+        assert_eq!(p.data.ndim(), 2);
+        assert!(p.data.len() > 100);
+    }
+}

@@ -1,0 +1,28 @@
+//! The paper's primary contribution: initializing a self-tuning histogram
+//! from dense subspace clusters.
+//!
+//! An uninitialized STHoles histogram must infer its top-level bucket
+//! structure from the first few queries; the paper shows this makes it
+//! order-sensitive, prone to stagnation in local optima, and blind to local
+//! correlations hidden in projections. The fix implemented here (§4):
+//!
+//! 1. run a subspace clustering algorithm (MineClus by default) over the
+//!    dataset (or a sample of it);
+//! 2. convert every cluster into its *extended bounding rectangle* — tight
+//!    in the cluster's relevant dimensions, spanning the full domain in the
+//!    others (Definition 8);
+//! 3. feed the rectangles to the histogram as synthetic queries, in
+//!    descending cluster importance, so the ordinary drilling machinery
+//!    installs them as top-level buckets with exact counts.
+//!
+//! After initialization the histogram keeps self-tuning from real query
+//! feedback as usual — initialization only replaces the fragile "learn the
+//! top level from whatever queries come first" phase.
+
+#![warn(missing_docs)]
+
+mod builder;
+mod init;
+
+pub use builder::{build_initialized, build_uninitialized, ClusterSummary, InitReport};
+pub use init::{initialize_histogram, BrMode, InitConfig, InitOrder};

@@ -1,0 +1,93 @@
+//! Row-oriented construction of [`Dataset`]s.
+
+use sth_geometry::Rect;
+
+use crate::Dataset;
+
+/// Accumulates rows and produces a column-major [`Dataset`].
+///
+/// Out-of-domain coordinates are clamped into the (half-open) domain rather
+/// than rejected: the synthetic generators draw from unbounded distributions
+/// (Gaussians) and the paper's datasets are bounded.
+#[derive(Clone, Debug)]
+pub struct DatasetBuilder {
+    name: String,
+    domain: Rect,
+    cols: Vec<Vec<f64>>,
+}
+
+impl DatasetBuilder {
+    /// Starts an empty builder over `domain`.
+    pub fn new(name: impl Into<String>, domain: Rect) -> Self {
+        let dim = domain.ndim();
+        Self { name: name.into(), domain, cols: vec![Vec::new(); dim] }
+    }
+
+    /// Starts a builder with per-column capacity reserved for `n` rows.
+    pub fn with_capacity(name: impl Into<String>, domain: Rect, n: usize) -> Self {
+        let dim = domain.ndim();
+        Self { name: name.into(), domain, cols: vec![Vec::with_capacity(n); dim] }
+    }
+
+    /// Number of rows added so far.
+    pub fn len(&self) -> usize {
+        self.cols.first().map_or(0, Vec::len)
+    }
+
+    /// `true` when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one row, clamping each coordinate into the half-open domain.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols.len(), "row has wrong dimensionality");
+        for (d, (&v, col)) in row.iter().zip(self.cols.iter_mut()).enumerate() {
+            let lo = self.domain.lo()[d];
+            let hi = self.domain.hi()[d];
+            // Clamp into [lo, hi); `hi` itself is outside the half-open box.
+            let clamped = if v < lo {
+                lo
+            } else if v >= hi {
+                // One ulp below hi keeps the point inside.
+                hi - (hi - lo) * 1e-12 - f64::MIN_POSITIVE
+            } else {
+                v
+            };
+            col.push(clamped.max(lo));
+        }
+    }
+
+    /// Finalizes the dataset.
+    pub fn finish(self) -> Dataset {
+        Dataset::from_columns(self.name, self.domain, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_clamps() {
+        let domain = Rect::cube(2, 0.0, 10.0);
+        let mut b = DatasetBuilder::new("t", domain.clone());
+        b.push_row(&[5.0, 5.0]);
+        b.push_row(&[-3.0, 12.0]); // both coordinates out of domain
+        assert_eq!(b.len(), 2);
+        let ds = b.finish();
+        assert_eq!(ds.len(), 2);
+        for i in 0..ds.len() {
+            assert!(domain.contains_point(&ds.row(i)), "row {i} escaped the domain");
+        }
+        assert_eq!(ds.row(1)[0], 0.0);
+        assert!(ds.row(1)[1] < 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimensionality")]
+    fn rejects_wrong_arity() {
+        let mut b = DatasetBuilder::new("t", Rect::cube(2, 0.0, 1.0));
+        b.push_row(&[0.5]);
+    }
+}

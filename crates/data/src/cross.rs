@@ -1,0 +1,189 @@
+//! The *Cross* dataset family (paper §5.1, Table 1 and Table 3, Fig. 9).
+//!
+//! An `n`-dimensional Cross dataset contains `n` clusters; cluster `i` is an
+//! `(n-1)`-dimensional band: a narrow interval around the domain center in
+//! dimension `i`, spanning the full domain in every other dimension. The 2-d
+//! instance is the classic "cross" of Fig. 9 — a vertical and a horizontal
+//! bar. The paper's defaults:
+//!
+//! | dataset  | dim | tuples      |
+//! |----------|-----|-------------|
+//! | Cross    | 2   | 22,000      |
+//! | Cross3d  | 3   | 9,000       |
+//! | Cross4d  | 4   | 360,000     |
+//! | Cross5d  | 5   | 13,500,000  |
+//!
+//! Roughly 90% of the tuples belong to clusters (split evenly) and 10% are
+//! uniform noise, matching "each cluster contains 10,000 tuples, another
+//! 2,000 tuples are random noise" for the 2-d case.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::{add_uniform_noise, default_domain, Dataset, DatasetBuilder, DOMAIN_HI, DOMAIN_LO};
+
+/// Configuration for a Cross dataset.
+#[derive(Clone, Debug)]
+pub struct CrossSpec {
+    /// Dimensionality (= number of clusters).
+    pub dim: usize,
+    /// Tuples per cluster.
+    pub tuples_per_cluster: usize,
+    /// Uniform noise tuples.
+    pub noise: usize,
+    /// Width of the narrow band of each cluster (domain units).
+    pub band_width: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CrossSpec {
+    /// The 2-d Cross dataset of Table 1: 2 × 10,000 cluster tuples + 2,000
+    /// noise = 22,000 tuples.
+    pub fn cross2d() -> Self {
+        Self { dim: 2, tuples_per_cluster: 10_000, noise: 2_000, band_width: 40.0, seed: 0xC205 }
+    }
+
+    /// Cross3d of Table 3: 9,000 tuples (3 × 2,700 + 900 noise).
+    pub fn cross3d() -> Self {
+        Self { dim: 3, tuples_per_cluster: 2_700, noise: 900, band_width: 40.0, seed: 0xC305 }
+    }
+
+    /// Cross4d of Table 3: 360,000 tuples (4 × 81,000 + 36,000 noise).
+    pub fn cross4d() -> Self {
+        Self { dim: 4, tuples_per_cluster: 81_000, noise: 36_000, band_width: 40.0, seed: 0xC405 }
+    }
+
+    /// Cross5d of Table 3: 13,500,000 tuples (5 × 2,430,000 + 1,350,000
+    /// noise). Use [`CrossSpec::scaled`] for laptop-scale runs.
+    pub fn cross5d() -> Self {
+        Self { dim: 5, tuples_per_cluster: 2_430_000, noise: 1_350_000, band_width: 40.0, seed: 0xC505 }
+    }
+
+    /// An arbitrary-dimensional Cross with the 90/10 cluster/noise split.
+    pub fn with_dim(dim: usize, total_tuples: usize, seed: u64) -> Self {
+        assert!(dim >= 1);
+        let clustered = total_tuples * 9 / 10;
+        Self {
+            dim,
+            tuples_per_cluster: clustered / dim,
+            noise: total_tuples - (clustered / dim) * dim,
+            band_width: 40.0,
+            seed,
+        }
+    }
+
+    /// Scales tuple counts by `factor` (cluster structure unchanged).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        self.tuples_per_cluster = ((self.tuples_per_cluster as f64) * factor).round().max(1.0) as usize;
+        self.noise = ((self.noise as f64) * factor).round() as usize;
+        self
+    }
+
+    /// Total tuple count this spec will generate.
+    pub fn total(&self) -> usize {
+        self.dim * self.tuples_per_cluster + self.noise
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> Dataset {
+        let domain = default_domain(self.dim);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut b = DatasetBuilder::with_capacity(
+            format!("Cross{}d", self.dim),
+            domain.clone(),
+            self.total(),
+        );
+        let center = 0.5 * (DOMAIN_LO + DOMAIN_HI);
+        let band_lo = center - 0.5 * self.band_width;
+        let mut row = vec![0.0; self.dim];
+        for cluster_dim in 0..self.dim {
+            for _ in 0..self.tuples_per_cluster {
+                for (d, v) in row.iter_mut().enumerate() {
+                    *v = if d == cluster_dim {
+                        band_lo + rng.gen::<f64>() * self.band_width
+                    } else {
+                        DOMAIN_LO + rng.gen::<f64>() * (DOMAIN_HI - DOMAIN_LO)
+                    };
+                }
+                b.push_row(&row);
+            }
+        }
+        add_uniform_noise(&mut b, &domain, self.noise, &mut rng);
+        b.finish()
+    }
+
+    /// The ground-truth cluster band rectangles (one per cluster), useful for
+    /// tests: cluster `i` is narrow in dimension `i`.
+    pub fn true_cluster_rects(&self) -> Vec<sth_geometry::Rect> {
+        let domain = default_domain(self.dim);
+        let center = 0.5 * (DOMAIN_LO + DOMAIN_HI);
+        (0..self.dim)
+            .map(|i| {
+                domain.with_dim(i, center - 0.5 * self.band_width, center + 0.5 * self.band_width)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_totals() {
+        assert_eq!(CrossSpec::cross2d().total(), 22_000);
+        assert_eq!(CrossSpec::cross3d().total(), 9_000);
+        assert_eq!(CrossSpec::cross4d().total(), 360_000);
+        assert_eq!(CrossSpec::cross5d().total(), 13_500_000);
+    }
+
+    #[test]
+    fn generated_shape_and_cluster_membership() {
+        let spec = CrossSpec::cross2d().scaled(0.1);
+        let ds = spec.generate();
+        assert_eq!(ds.len(), spec.total());
+        assert_eq!(ds.ndim(), 2);
+        // ~90% of tuples must fall inside one of the two true bands (noise
+        // can land there too, so strictly more).
+        let bands = spec.true_cluster_rects();
+        let in_bands = (0..ds.len())
+            .filter(|&i| bands.iter().any(|b| b.contains_point(&ds.row(i))))
+            .count();
+        assert!(in_bands >= ds.len() * 9 / 10, "only {in_bands}/{} in bands", ds.len());
+    }
+
+    #[test]
+    fn determinism() {
+        let a = CrossSpec::cross3d().scaled(0.05).generate();
+        let b = CrossSpec::cross3d().scaled(0.05).generate();
+        assert_eq!(a.len(), b.len());
+        for i in (0..a.len()).step_by(97) {
+            assert_eq!(a.row(i), b.row(i));
+        }
+    }
+
+    #[test]
+    fn band_is_narrow_in_its_dimension() {
+        let spec = CrossSpec::cross3d().scaled(0.2);
+        let rects = spec.true_cluster_rects();
+        assert_eq!(rects.len(), 3);
+        for (i, r) in rects.iter().enumerate() {
+            for d in 0..3 {
+                if d == i {
+                    assert_eq!(r.extent(d), spec.band_width);
+                } else {
+                    assert_eq!(r.extent(d), DOMAIN_HI - DOMAIN_LO);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_dim_split() {
+        let s = CrossSpec::with_dim(4, 1000, 1);
+        assert_eq!(s.total(), 1000);
+        assert_eq!(s.tuples_per_cluster, 225);
+    }
+}

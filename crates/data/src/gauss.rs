@@ -1,0 +1,187 @@
+//! The *Gauss* dataset (paper §5.1, Fig. 10).
+//!
+//! A 6-dimensional dataset with multidimensional Gaussian bells drawn in
+//! random `k`-dimensional subspaces, `2 ≤ k ≤ 5`; 100,000 tuples belong to
+//! clusters and 10,000 are uniform noise. In the dimensions a cluster does
+//! not use, its tuples are uniform over the whole domain — which is exactly
+//! what makes the cluster a *subspace* cluster.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::rng::{distinct_indices, truncated_normal};
+use crate::{add_uniform_noise, default_domain, Dataset, DatasetBuilder, DOMAIN_HI, DOMAIN_LO};
+
+/// Ground truth of one generated Gaussian subspace cluster.
+#[derive(Clone, Debug)]
+pub struct GaussCluster {
+    /// Relevant dimensions (sorted).
+    pub dims: Vec<usize>,
+    /// Cluster center in the relevant dimensions (same order as `dims`).
+    pub center: Vec<f64>,
+    /// Standard deviation per relevant dimension.
+    pub std: Vec<f64>,
+    /// Number of tuples generated for this cluster.
+    pub tuples: usize,
+}
+
+/// Configuration for the Gauss dataset.
+#[derive(Clone, Debug)]
+pub struct GaussSpec {
+    /// Dataset dimensionality.
+    pub dim: usize,
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Total clustered tuples (split evenly across clusters).
+    pub clustered_tuples: usize,
+    /// Uniform noise tuples.
+    pub noise: usize,
+    /// Inclusive range of subspace dimensionalities for the clusters.
+    pub subspace_dims: (usize, usize),
+    /// Std-dev range as a fraction of the domain extent.
+    pub std_frac: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GaussSpec {
+    /// Paper defaults: 6-d, 110,000 tuples (100k clustered + 10k noise),
+    /// clusters in random 2..=5-dimensional subspaces.
+    pub fn paper() -> Self {
+        Self {
+            dim: 6,
+            clusters: 10,
+            clustered_tuples: 100_000,
+            noise: 10_000,
+            subspace_dims: (2, 5),
+            std_frac: (0.02, 0.06),
+            seed: 0x6A55,
+        }
+    }
+
+    /// The 2-d full-space variant shown in Fig. 10.
+    pub fn fig10() -> Self {
+        Self {
+            dim: 2,
+            clusters: 8,
+            clustered_tuples: 20_000,
+            noise: 2_000,
+            subspace_dims: (2, 2),
+            std_frac: (0.02, 0.06),
+            seed: 0x6F10,
+        }
+    }
+
+    /// Scales tuple counts by `factor`.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        self.clustered_tuples =
+            ((self.clustered_tuples as f64) * factor).round().max(self.clusters as f64) as usize;
+        self.noise = ((self.noise as f64) * factor).round() as usize;
+        self
+    }
+
+    /// Total tuple count.
+    pub fn total(&self) -> usize {
+        self.clustered_tuples + self.noise
+    }
+
+    /// Generates the dataset together with the ground-truth cluster list.
+    pub fn generate_with_truth(&self) -> (Dataset, Vec<GaussCluster>) {
+        assert!(self.subspace_dims.0 >= 1 && self.subspace_dims.1 <= self.dim);
+        assert!(self.subspace_dims.0 <= self.subspace_dims.1);
+        let domain = default_domain(self.dim);
+        let extent = DOMAIN_HI - DOMAIN_LO;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut b =
+            DatasetBuilder::with_capacity(format!("Gauss{}d", self.dim), domain.clone(), self.total());
+
+        let per_cluster = self.clustered_tuples / self.clusters;
+        let mut leftover = self.clustered_tuples - per_cluster * self.clusters;
+        let mut truth = Vec::with_capacity(self.clusters);
+        let mut row = vec![0.0; self.dim];
+        for _ in 0..self.clusters {
+            let k = rng.gen_range(self.subspace_dims.0..=self.subspace_dims.1);
+            let dims = distinct_indices(&mut rng, self.dim, k);
+            // Keep centers away from the border so the bells are not clipped.
+            let center: Vec<f64> = dims
+                .iter()
+                .map(|_| DOMAIN_LO + extent * (0.15 + 0.7 * rng.gen::<f64>()))
+                .collect();
+            let std: Vec<f64> = dims
+                .iter()
+                .map(|_| extent * (self.std_frac.0 + (self.std_frac.1 - self.std_frac.0) * rng.gen::<f64>()))
+                .collect();
+            let tuples = per_cluster + usize::from(leftover > 0);
+            leftover = leftover.saturating_sub(1);
+            for _ in 0..tuples {
+                // Non-cluster dimensions: uniform (the subspace property).
+                for v in row.iter_mut() {
+                    *v = DOMAIN_LO + rng.gen::<f64>() * extent;
+                }
+                for (j, &d) in dims.iter().enumerate() {
+                    row[d] = truncated_normal(&mut rng, center[j], std[j], DOMAIN_LO, DOMAIN_HI);
+                }
+                b.push_row(&row);
+            }
+            truth.push(GaussCluster { dims, center, std, tuples });
+        }
+        add_uniform_noise(&mut b, &domain, self.noise, &mut rng);
+        (b.finish(), truth)
+    }
+
+    /// Generates the dataset, discarding the ground truth.
+    pub fn generate(&self) -> Dataset {
+        self.generate_with_truth().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_total() {
+        assert_eq!(GaussSpec::paper().total(), 110_000);
+    }
+
+    #[test]
+    fn shape_and_truth() {
+        let spec = GaussSpec::paper().scaled(0.05);
+        let (ds, truth) = spec.generate_with_truth();
+        assert_eq!(ds.len(), spec.total());
+        assert_eq!(ds.ndim(), 6);
+        assert_eq!(truth.len(), spec.clusters);
+        assert_eq!(truth.iter().map(|c| c.tuples).sum::<usize>(), spec.clustered_tuples);
+        for c in &truth {
+            assert!((2..=5).contains(&c.dims.len()));
+            assert!(c.dims.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn clusters_are_dense_near_center() {
+        // Pick the first cluster and verify its tuples concentrate around the
+        // center in the relevant dims: a 3-sigma box must catch almost all of
+        // the cluster's share.
+        let spec = GaussSpec { clusters: 1, noise: 0, ..GaussSpec::paper().scaled(0.02) };
+        let (ds, truth) = spec.generate_with_truth();
+        let c = &truth[0];
+        let domain = ds.domain().clone();
+        let mut rect = domain.clone();
+        for (j, &d) in c.dims.iter().enumerate() {
+            let lo = (c.center[j] - 3.0 * c.std[j]).max(domain.lo()[d]);
+            let hi = (c.center[j] + 3.0 * c.std[j]).min(domain.hi()[d]);
+            rect = rect.with_dim(d, lo, hi);
+        }
+        let inside = ds.count_in_scan(&rect) as f64 / ds.len() as f64;
+        assert!(inside > 0.95, "only {inside:.2} of cluster tuples within 3 sigma");
+    }
+
+    #[test]
+    fn fig10_is_two_dimensional_fullspace() {
+        let (ds, truth) = GaussSpec::fig10().scaled(0.05).generate_with_truth();
+        assert_eq!(ds.ndim(), 2);
+        assert!(truth.iter().all(|c| c.dims.len() == 2));
+    }
+}

@@ -1,0 +1,84 @@
+//! Datasets and synthetic generators for the `sth` histogram library.
+//!
+//! The paper evaluates on two synthetic datasets (*Cross*, *Gauss*), one
+//! real-world dataset (*Sky*, an SDSS extract) and, in the accompanying
+//! technical report, an 18-dimensional particle-physics dataset. The real
+//! datasets are not redistributable, so this crate ships generators that
+//! reproduce their *structural* properties — the cluster layout, the
+//! projections the clusters live in, and the tuple-count profile — which is
+//! exactly what the histogram and the subspace clustering react to (see
+//! DESIGN.md, "Substitutions").
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+
+mod builder;
+mod csv;
+mod dataset;
+pub mod rng;
+
+pub mod cross;
+pub mod gauss;
+pub mod particle;
+pub mod sky;
+
+pub use builder::DatasetBuilder;
+pub use csv::{read_csv, write_csv, CsvError};
+pub use dataset::Dataset;
+
+use sth_geometry::Rect;
+
+/// Default attribute domain used by all paper datasets: `[0, 1000)` per
+/// dimension, matching the Cross dataset plot (Fig. 9 of the paper).
+pub const DOMAIN_LO: f64 = 0.0;
+/// Upper end of the default attribute domain.
+pub const DOMAIN_HI: f64 = 1000.0;
+
+/// The default `[0, 1000)^dim` domain rectangle.
+pub fn default_domain(dim: usize) -> Rect {
+    Rect::cube(dim, DOMAIN_LO, DOMAIN_HI)
+}
+
+/// Appends `n` uniform noise tuples over `domain` to `builder`.
+pub fn add_uniform_noise<R: rand::Rng>(
+    builder: &mut DatasetBuilder,
+    domain: &Rect,
+    n: usize,
+    rng: &mut R,
+) {
+    let dim = domain.ndim();
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        for (d, v) in row.iter_mut().enumerate() {
+            *v = rng.gen_range(domain.lo()[d]..domain.hi()[d]);
+        }
+        builder.push_row(&row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_domain_shape() {
+        let d = default_domain(3);
+        assert_eq!(d.ndim(), 3);
+        assert_eq!(d.volume(), 1000.0f64.powi(3));
+    }
+
+    #[test]
+    fn noise_stays_in_domain() {
+        use rand::SeedableRng;
+        let domain = default_domain(2);
+        let mut b = DatasetBuilder::new("noise", domain.clone());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        add_uniform_noise(&mut b, &domain, 500, &mut rng);
+        let ds = b.finish();
+        assert_eq!(ds.len(), 500);
+        for i in 0..ds.len() {
+            assert!(domain.contains_point(&ds.row(i)));
+        }
+    }
+}

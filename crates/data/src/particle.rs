@@ -1,0 +1,114 @@
+//! An 18-dimensional particle-physics-like dataset.
+//!
+//! The paper's technical report runs one additional experiment on an
+//! 18-dimensional dataset from particle physics with 5 million tuples, where
+//! initialization reduces the error by 30–50%. The original data is not
+//! available; this generator produces a high-dimensional dataset with the
+//! same character: many subspace clusters of low-to-medium dimensionality
+//! embedded in an 18-d space, plus background noise.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::rng::{distinct_indices, truncated_normal};
+use crate::{add_uniform_noise, default_domain, Dataset, DatasetBuilder, DOMAIN_HI, DOMAIN_LO};
+
+/// Configuration for the particle-physics-like dataset.
+#[derive(Clone, Debug)]
+pub struct ParticleSpec {
+    /// Dimensionality (18 in the tech report).
+    pub dim: usize,
+    /// Number of subspace clusters.
+    pub clusters: usize,
+    /// Clustered tuples (split evenly).
+    pub clustered_tuples: usize,
+    /// Uniform noise tuples.
+    pub noise: usize,
+    /// Inclusive subspace-dimensionality range.
+    pub subspace_dims: (usize, usize),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ParticleSpec {
+    /// Tech-report scale: 18-d, 5 M tuples. Use [`ParticleSpec::scaled`] for
+    /// laptop-scale runs.
+    pub fn paper() -> Self {
+        Self {
+            dim: 18,
+            clusters: 15,
+            clustered_tuples: 4_500_000,
+            noise: 500_000,
+            subspace_dims: (3, 10),
+            seed: 0x9A27,
+        }
+    }
+
+    /// Scales tuple counts by `factor`.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        self.clustered_tuples =
+            ((self.clustered_tuples as f64) * factor).round().max(self.clusters as f64) as usize;
+        self.noise = ((self.noise as f64) * factor).round() as usize;
+        self
+    }
+
+    /// Total tuple count.
+    pub fn total(&self) -> usize {
+        self.clustered_tuples + self.noise
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> Dataset {
+        let domain = default_domain(self.dim);
+        let extent = DOMAIN_HI - DOMAIN_LO;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut b =
+            DatasetBuilder::with_capacity(format!("Particle{}d", self.dim), domain.clone(), self.total());
+        let per_cluster = self.clustered_tuples / self.clusters;
+        let mut leftover = self.clustered_tuples - per_cluster * self.clusters;
+        let mut row = vec![0.0; self.dim];
+        for _ in 0..self.clusters {
+            let k = rng.gen_range(self.subspace_dims.0..=self.subspace_dims.1.min(self.dim));
+            let dims = distinct_indices(&mut rng, self.dim, k);
+            let center: Vec<f64> =
+                dims.iter().map(|_| DOMAIN_LO + extent * (0.1 + 0.8 * rng.gen::<f64>())).collect();
+            let std: Vec<f64> =
+                dims.iter().map(|_| extent * (0.01 + 0.05 * rng.gen::<f64>())).collect();
+            let tuples = per_cluster + usize::from(leftover > 0);
+            leftover = leftover.saturating_sub(1);
+            for _ in 0..tuples {
+                for v in row.iter_mut() {
+                    *v = DOMAIN_LO + rng.gen::<f64>() * extent;
+                }
+                for (j, &d) in dims.iter().enumerate() {
+                    row[d] = truncated_normal(&mut rng, center[j], std[j], DOMAIN_LO, DOMAIN_HI);
+                }
+                b.push_row(&row);
+            }
+        }
+        add_uniform_noise(&mut b, &domain, self.noise, &mut rng);
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_total() {
+        assert_eq!(ParticleSpec::paper().total(), 5_000_000);
+    }
+
+    #[test]
+    fn generation_shape() {
+        let spec = ParticleSpec::paper().scaled(0.001);
+        let ds = spec.generate();
+        assert_eq!(ds.ndim(), 18);
+        assert_eq!(ds.len(), spec.total());
+        for i in (0..ds.len()).step_by(137) {
+            assert!(ds.domain().contains_point(&ds.row(i)));
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The *Sky* dataset: a synthetic stand-in for the Sloan Digital Sky Survey
+//! extract used by the paper (§5.1, Table 1, Table 4).
+//!
+//! The original is a 7-dimensional, ≈1.7-million-tuple table: two sky
+//! coordinates plus five filter magnitudes. It is not redistributable here,
+//! so this generator reproduces the *structural facts the paper reports
+//! about it* — the only properties the histogram and the clustering react
+//! to:
+//!
+//! * 20 clusters (Table 4), 11 full-dimensional and 9 subspace clusters;
+//! * the subspace clusters' "unused dimension" patterns, verbatim from
+//!   Table 4 (e.g. C19 spans the full domain in dimensions 1, 2, 3, 5, 6);
+//! * per-cluster tuple counts matching Table 4, so cluster importance
+//!   ordering carries over;
+//! * complex local correlations: filter-magnitude centers are functions of
+//!   the sky-coordinate centers, so attribute correlations are local, not
+//!   global.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::rng::truncated_normal;
+use crate::{add_uniform_noise, default_domain, Dataset, DatasetBuilder, DOMAIN_HI, DOMAIN_LO};
+
+/// One row of the Table 4 profile: which dimensions the cluster does *not*
+/// use (0-indexed) and its tuple count in the full-scale dataset.
+#[derive(Clone, Debug)]
+pub struct SkyClusterProfile {
+    /// Cluster id (C0..C19, ordered by MineClus importance in the paper).
+    pub id: usize,
+    /// Unused (spanning) dimensions, 0-indexed.
+    pub unused_dims: Vec<usize>,
+    /// Tuple count at scale 1.0.
+    pub tuples: usize,
+}
+
+/// The verbatim Table 4 profile (paper dimensions are 1-indexed; we store
+/// 0-indexed).
+pub fn table4_profile() -> Vec<SkyClusterProfile> {
+    let raw: [(usize, &[usize], usize); 20] = [
+        (0, &[], 207_377),
+        (1, &[], 178_394),
+        (2, &[], 153_161),
+        (3, &[], 121_384),
+        (4, &[], 114_699),
+        (5, &[], 83_026),
+        (6, &[0], 218_770),
+        (7, &[], 54_760),
+        (8, &[], 50_846),
+        (9, &[], 40_067),
+        (10, &[0], 98_438),
+        (11, &[], 21_495),
+        (12, &[], 17_522),
+        (13, &[0, 1], 153_311),
+        (14, &[0], 17_437),
+        (15, &[0, 1], 77_112),
+        (16, &[0, 1], 39_799),
+        (17, &[0, 1, 6], 21_913),
+        (18, &[0, 1, 2, 6], 24_084),
+        (19, &[0, 1, 2, 4, 5], 19_236),
+    ];
+    raw.iter()
+        .map(|(id, unused, tuples)| SkyClusterProfile {
+            id: *id,
+            unused_dims: unused.to_vec(),
+            tuples: *tuples,
+        })
+        .collect()
+}
+
+/// Configuration for the synthetic Sky dataset.
+#[derive(Clone, Debug)]
+pub struct SkySpec {
+    /// Tuple-count scale relative to the paper's ≈1.7 M (1.0 = full size).
+    pub scale: f64,
+    /// Fraction of *additional* uniform noise relative to clustered tuples.
+    pub noise_frac: f64,
+    /// Std-dev range for cluster bells, as a fraction of the domain extent.
+    pub std_frac: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SkySpec {
+    /// Full-scale spec (≈1.75 M tuples: 1.713 M clustered + 2% noise).
+    pub fn paper() -> Self {
+        Self { scale: 1.0, noise_frac: 0.02, std_frac: (0.015, 0.05), seed: 0x5D55 }
+    }
+
+    /// Spec scaled to `scale` of the paper's tuple counts.
+    pub fn scaled(scale: f64) -> Self {
+        assert!(scale > 0.0);
+        Self { scale, ..Self::paper() }
+    }
+
+    /// Total tuple count this spec will generate.
+    pub fn total(&self) -> usize {
+        let clustered: usize = table4_profile()
+            .iter()
+            .map(|c| ((c.tuples as f64) * self.scale).round().max(1.0) as usize)
+            .sum();
+        clustered + ((clustered as f64) * self.noise_frac).round() as usize
+    }
+
+    /// Generates the dataset together with the ground-truth profile actually
+    /// used (tuple counts after scaling).
+    pub fn generate_with_truth(&self) -> (Dataset, Vec<SkyClusterProfile>) {
+        const DIM: usize = 7;
+        let domain = default_domain(DIM);
+        let extent = DOMAIN_HI - DOMAIN_LO;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let profile: Vec<SkyClusterProfile> = table4_profile()
+            .into_iter()
+            .map(|c| SkyClusterProfile {
+                tuples: ((c.tuples as f64) * self.scale).round().max(1.0) as usize,
+                ..c
+            })
+            .collect();
+        let clustered: usize = profile.iter().map(|c| c.tuples).sum();
+        let noise = ((clustered as f64) * self.noise_frac).round() as usize;
+        let mut b = DatasetBuilder::with_capacity("Sky", domain.clone(), clustered + noise);
+
+        let mut row = vec![0.0; DIM];
+        for cluster in &profile {
+            // Sky-coordinate center first; filter centers derived from it so
+            // the coordinate↔filter correlation is local to the cluster.
+            let ra = DOMAIN_LO + extent * (0.1 + 0.8 * rng.gen::<f64>());
+            let dec = DOMAIN_LO + extent * (0.1 + 0.8 * rng.gen::<f64>());
+            let mut center = [0.0; DIM];
+            center[0] = ra;
+            center[1] = dec;
+            for c in center.iter_mut().skip(2) {
+                // A smooth, cluster-specific mix of the sky coordinates plus
+                // jitter, folded back into the domain.
+                let mix = 0.35 * ra + 0.25 * dec + 0.4 * extent * rng.gen::<f64>();
+                *c = DOMAIN_LO + (mix - DOMAIN_LO).rem_euclid(extent * 0.999);
+            }
+            let mut std = [0.0; DIM];
+            for s in std.iter_mut() {
+                *s = extent
+                    * (self.std_frac.0 + (self.std_frac.1 - self.std_frac.0) * rng.gen::<f64>());
+            }
+            for _ in 0..cluster.tuples {
+                for d in 0..DIM {
+                    row[d] = if cluster.unused_dims.contains(&d) {
+                        DOMAIN_LO + rng.gen::<f64>() * extent
+                    } else {
+                        truncated_normal(&mut rng, center[d], std[d], DOMAIN_LO, DOMAIN_HI)
+                    };
+                }
+                b.push_row(&row);
+            }
+        }
+        add_uniform_noise(&mut b, &domain, noise, &mut rng);
+        (b.finish(), profile)
+    }
+
+    /// Generates the dataset, discarding the ground truth.
+    pub fn generate(&self) -> Dataset {
+        self.generate_with_truth().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_matches_paper_counts() {
+        let p = table4_profile();
+        assert_eq!(p.len(), 20);
+        assert_eq!(p.iter().filter(|c| c.unused_dims.is_empty()).count(), 11);
+        assert_eq!(p.iter().filter(|c| !c.unused_dims.is_empty()).count(), 9);
+        let total: usize = p.iter().map(|c| c.tuples).sum();
+        // Paper: "approximately 1.7 million tuples".
+        assert!((1_650_000..=1_760_000).contains(&total), "total {total}");
+        // Spot-check verbatim rows.
+        assert_eq!(p[6].unused_dims, vec![0]);
+        assert_eq!(p[6].tuples, 218_770);
+        assert_eq!(p[19].unused_dims, vec![0, 1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn generation_shape() {
+        let spec = SkySpec::scaled(0.01);
+        let (ds, truth) = spec.generate_with_truth();
+        assert_eq!(ds.ndim(), 7);
+        assert_eq!(ds.len(), spec.total());
+        assert_eq!(truth.len(), 20);
+        for i in (0..ds.len()).step_by(911) {
+            assert!(ds.domain().contains_point(&ds.row(i)));
+        }
+    }
+
+    #[test]
+    fn subspace_clusters_span_their_unused_dims() {
+        // Generate only cluster C19 (5 unused dims) by zeroing the others.
+        let spec = SkySpec::scaled(0.02);
+        let (ds, truth) = spec.generate_with_truth();
+        // Tuples of C19 occupy a contiguous range: clusters are generated in
+        // order. Locate its range.
+        let start: usize = truth[..19].iter().map(|c| c.tuples).sum();
+        let end = start + truth[19].tuples;
+        // In an unused dim the values must roughly cover the full domain.
+        for &d in &truth[19].unused_dims {
+            let mut mn = f64::INFINITY;
+            let mut mx = f64::NEG_INFINITY;
+            for i in start..end {
+                mn = mn.min(ds.value(i, d));
+                mx = mx.max(ds.value(i, d));
+            }
+            assert!(mn < 50.0 && mx > 950.0, "dim {d} not spanning: [{mn}, {mx}]");
+        }
+        // In a used dim the spread must be clearly narrower than the domain.
+        let used: Vec<usize> = (0..7).filter(|d| !truth[19].unused_dims.contains(d)).collect();
+        for &d in &used {
+            let vals: Vec<f64> = (start..end).map(|i| ds.value(i, d)).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+            assert!(var.sqrt() < 120.0, "dim {d} too spread: std {}", var.sqrt());
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = SkySpec::scaled(0.005).generate();
+        let b = SkySpec::scaled(0.005).generate();
+        assert_eq!(a.len(), b.len());
+        for i in (0..a.len()).step_by(199) {
+            assert_eq!(a.row(i), b.row(i));
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Design-choice ablations: the NAE impact of each decision DESIGN.md calls
+//! out. The Criterion benches in `sth-bench` measure the *cost* of the same
+//! variants; this experiment reports their *quality*.
+
+use sth_core::{build_initialized, BrMode, InitConfig, InitOrder};
+use sth_mineclus::{
+    Clique, CliqueConfig, Doc, DocConfig, MineClus, MineClusConfig, Proclus, ProclusConfig,
+    SubspaceClustering,
+};
+use sth_histogram::MergePolicy;
+use sth_query::WorkloadSpec;
+
+use crate::metrics::{evaluate_self_tuning, evaluate_static, normalized_absolute_error};
+use crate::table::f3;
+use crate::{run_simulation, DatasetSpec, ExperimentCtx, RunConfig, Table, Variant};
+
+/// Runs every ablation on the Gauss dataset (subspace clusters, moderate
+/// size) and reports NAE per variant.
+pub fn ablation_quality(ctx: &ExperimentCtx) -> Table {
+    let prep = ctx.prepare(DatasetSpec::Gauss);
+    let buckets = *ctx.buckets.iter().min().unwrap_or(&50).min(&100);
+    let base = RunConfig {
+        train: ctx.train,
+        sim: ctx.sim,
+        cluster_sample: ctx.cluster_sample,
+        ..RunConfig::paper(buckets, ctx.seed)
+    };
+    let mut t = Table::new(
+        format!("Ablations — Gauss[1%], {buckets} buckets"),
+        &["dimension", "variant", "NAE"],
+    );
+
+    // 1. Rectangle representation: extended BR vs MBR (§4.1).
+    for (label, mode) in [("extended BR", BrMode::Extended), ("plain MBR", BrMode::Minimal)] {
+        let v = Variant::Initialized {
+            mineclus: MineClusConfig::default(),
+            init: InitConfig { br_mode: mode, ..InitConfig::default() },
+        };
+        let out = run_simulation(&prep, &v, &base);
+        t.push_row(vec!["br_mode".into(), label.into(), f3(out.nae)]);
+    }
+
+    // 2. Initialization order (§5.3, Fig. 13).
+    for (label, order) in [
+        ("importance", InitOrder::Importance),
+        ("reversed", InitOrder::Reversed),
+        ("random", InitOrder::Random(7)),
+    ] {
+        let v = Variant::Initialized {
+            mineclus: MineClusConfig::default(),
+            init: InitConfig { order, ..InitConfig::default() },
+        };
+        let out = run_simulation(&prep, &v, &base);
+        t.push_row(vec!["init_order".into(), label.into(), f3(out.nae)]);
+    }
+
+    // 3. Initializer algorithm (the SSDBM'11 comparison, condensed).
+    let algorithms: Vec<(&str, Box<dyn SubspaceClustering>)> = vec![
+        ("mineclus", Box::new(MineClus::new(MineClusConfig::default()))),
+        ("doc", Box::new(Doc::new(DocConfig::default()))),
+        ("clique", Box::new(Clique::new(CliqueConfig::default()))),
+        ("proclus", Box::new(Proclus::new(ProclusConfig::default()))),
+        ("none (uninitialized)", Box::new(NoClustering)),
+    ];
+    let wl = WorkloadSpec {
+        count: ctx.train + ctx.sim,
+        volume_fraction: 0.01,
+        centers: sth_query::CenterDistribution::Uniform,
+        seed: ctx.seed,
+    }
+    .generate(prep.data.domain(), None);
+    let (train, sim) = wl.split_train(ctx.train);
+    let h0 = sth_baselines::TrivialHistogram::for_dataset(&prep.data);
+    let trivial_mae = evaluate_static(&h0, &sim, &*prep.index);
+    for (label, alg) in &algorithms {
+        let (mut hist, _) = build_initialized(
+            &prep.data,
+            buckets,
+            alg.as_ref(),
+            &InitConfig::default(),
+            ctx.cluster_sample,
+            &*prep.index,
+        );
+        evaluate_self_tuning(&mut hist, &train, &*prep.index, true);
+        let mae = evaluate_self_tuning(&mut hist, &sim, &*prep.index, true);
+        t.push_row(vec![
+            "initializer".into(),
+            label.to_string(),
+            f3(normalized_absolute_error(mae, trivial_mae)),
+        ]);
+    }
+
+    // 4. Merge policy.
+    for (label, policy) in [
+        ("all merges", MergePolicy::All),
+        ("parent-child only", MergePolicy::ParentChildOnly),
+        ("sibling first", MergePolicy::SiblingFirst),
+    ] {
+        let mut hist = sth_core::build_uninitialized(&prep.data, buckets);
+        hist.set_merge_policy(policy);
+        evaluate_self_tuning(&mut hist, &train, &*prep.index, true);
+        let mae = evaluate_self_tuning(&mut hist, &sim, &*prep.index, true);
+        t.push_row(vec![
+            "merge_policy".into(),
+            label.into(),
+            f3(normalized_absolute_error(mae, trivial_mae)),
+        ]);
+    }
+
+    // 5. Static baselines for context.
+    {
+        let grid = sth_baselines::EquiWidthGrid::build(&prep.data, 4);
+        let mae = evaluate_static(&grid, &sim, &*prep.index);
+        t.push_row(vec![
+            "baseline".into(),
+            format!("equi-width 4^{}", prep.data.ndim()),
+            f3(normalized_absolute_error(mae, trivial_mae)),
+        ]);
+        let ed = sth_baselines::EquiDepthHistogram::build(&prep.data, buckets);
+        let mae = evaluate_static(&ed, &sim, &*prep.index);
+        t.push_row(vec![
+            "baseline".into(),
+            format!("equi-depth {buckets}"),
+            f3(normalized_absolute_error(mae, trivial_mae)),
+        ]);
+        let avi = sth_baselines::AviHistogram::build(&prep.data, buckets);
+        let mae = evaluate_static(&avi, &sim, &*prep.index);
+        t.push_row(vec![
+            "baseline".into(),
+            format!("AVI 1-D x{}", prep.data.ndim()),
+            f3(normalized_absolute_error(mae, trivial_mae)),
+        ]);
+    }
+
+    t.note(format!("scale={}, {}+{} queries", ctx.scale, ctx.train, ctx.sim));
+    t
+}
+
+/// The "no initialization" placeholder used in the initializer comparison.
+struct NoClustering;
+
+impl SubspaceClustering for NoClustering {
+    fn cluster(&self, _data: &sth_data::Dataset) -> Vec<sth_mineclus::SubspaceCluster> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_table_shape() {
+        let ctx = ExperimentCtx {
+            scale: 0.01,
+            train: 30,
+            sim: 30,
+            buckets: vec![15],
+            cluster_sample: Some(1000),
+            seed: 0xAB1,
+        };
+        let t = ablation_quality(&ctx);
+        // 2 br modes + 3 orders + 5 initializers + 3 merge policies + 3 baselines.
+        assert_eq!(t.rows.len(), 16);
+        for row in &t.rows {
+            let nae: f64 = row[2].parse().unwrap();
+            assert!(nae.is_finite() && nae >= 0.0);
+        }
+    }
+}

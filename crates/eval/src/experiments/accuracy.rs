@@ -1,0 +1,149 @@
+//! The accuracy figures: NAE vs bucket count, per dataset (Figs. 11–15).
+
+use sth_core::{InitConfig, InitOrder};
+use sth_mineclus::MineClusConfig;
+
+use crate::table::f3;
+use crate::{sweep, DatasetSpec, ExperimentCtx, RunConfig, Table, Variant};
+
+/// Shared shape of Figs. 11–14: one dataset, NAE per bucket count for a set
+/// of variants.
+fn accuracy_figure(
+    title: &str,
+    spec: DatasetSpec,
+    ctx: &ExperimentCtx,
+    volume_frac: f64,
+    variants: &[Variant],
+) -> Table {
+    let prep = ctx.prepare(spec);
+    let base = RunConfig {
+        train: ctx.train,
+        sim: ctx.sim,
+        volume_frac,
+        cluster_sample: ctx.cluster_sample,
+        ..RunConfig::paper(0, ctx.seed)
+    };
+    let outcomes = sweep(&prep, variants, &ctx.buckets, &base);
+
+    let mut headers: Vec<String> = vec!["buckets".into()];
+    headers.extend(variants.iter().map(Variant::label));
+    let mut t = Table::new(title, &headers.iter().map(String::as_str).collect::<Vec<_>>());
+    for (bi, &b) in ctx.buckets.iter().enumerate() {
+        let mut row = vec![b.to_string()];
+        for (vi, _) in variants.iter().enumerate() {
+            row.push(f3(outcomes[vi * ctx.buckets.len() + bi].nae));
+        }
+        t.push_row(row);
+    }
+    t.note(format!(
+        "scale={}, {} train + {} sim queries, {}% volume",
+        ctx.scale,
+        ctx.train,
+        ctx.sim,
+        volume_frac * 100.0
+    ));
+    t
+}
+
+/// Fig. 11: initialized vs uninitialized on Cross[1%].
+pub fn fig11_cross(ctx: &ExperimentCtx) -> Table {
+    accuracy_figure(
+        "Fig. 11 — Cross[1%]",
+        DatasetSpec::Cross2d,
+        ctx,
+        0.01,
+        &[Variant::initialized_default(), Variant::Uninitialized],
+    )
+}
+
+/// Fig. 12: initialized vs uninitialized on Gauss[1%].
+pub fn fig12_gauss(ctx: &ExperimentCtx) -> Table {
+    accuracy_figure(
+        "Fig. 12 — Gauss[1%]",
+        DatasetSpec::Gauss,
+        ctx,
+        0.01,
+        &[Variant::initialized_default(), Variant::Uninitialized],
+    )
+}
+
+/// Fig. 13: Sky[1%] with the extra "Initialized (Reversed)" series — same
+/// clusters fed in reverse importance order.
+pub fn fig13_sky(ctx: &ExperimentCtx) -> Table {
+    let reversed = Variant::Initialized {
+        mineclus: MineClusConfig::default(),
+        init: InitConfig { order: InitOrder::Reversed, ..InitConfig::default() },
+    };
+    accuracy_figure(
+        "Fig. 13 — Sky[1%]",
+        DatasetSpec::Sky,
+        ctx,
+        0.01,
+        &[Variant::initialized_default(), reversed, Variant::Uninitialized],
+    )
+}
+
+/// Fig. 14: Sky[2%] — query-volume robustness.
+pub fn fig14_sky_2pct(ctx: &ExperimentCtx) -> Table {
+    accuracy_figure(
+        "Fig. 14 — Sky[2%]",
+        DatasetSpec::Sky,
+        ctx,
+        0.02,
+        &[Variant::initialized_default(), Variant::Uninitialized],
+    )
+}
+
+/// Fig. 15: Cross3d/Cross4d/Cross5d[1%] — the dimensionality trend. One
+/// sub-table per dataset, mirroring the paper's three panels.
+pub fn fig15_dimensionality(ctx: &ExperimentCtx) -> Table {
+    let mut t = Table::new(
+        "Fig. 15 — Cross3d/4d/5d[1%]",
+        &["dataset", "buckets", "initialized", "uninitialized"],
+    );
+    for spec in [DatasetSpec::Cross3d, DatasetSpec::Cross4d, DatasetSpec::Cross5d] {
+        let prep = ctx.prepare(spec);
+        let base = RunConfig {
+            train: ctx.train,
+            sim: ctx.sim,
+            cluster_sample: ctx.cluster_sample,
+            ..RunConfig::paper(0, ctx.seed)
+        };
+        let variants = [Variant::initialized_default(), Variant::Uninitialized];
+        let outcomes = sweep(&prep, &variants, &ctx.buckets, &base);
+        for (bi, &b) in ctx.buckets.iter().enumerate() {
+            t.push_row(vec![
+                spec.name().into(),
+                b.to_string(),
+                f3(outcomes[bi].nae),
+                f3(outcomes[ctx.buckets.len() + bi].nae),
+            ]);
+        }
+    }
+    t.note(format!("scale={}, {}+{} queries, 1% volume", ctx.scale, ctx.train, ctx.sim));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One tiny end-to-end accuracy figure; the headline claim (init wins)
+    /// is asserted at a scale that runs in seconds.
+    #[test]
+    fn fig11_shape_holds_at_tiny_scale() {
+        let ctx = ExperimentCtx {
+            scale: 0.05,
+            train: 80,
+            sim: 80,
+            buckets: vec![15],
+            cluster_sample: None,
+            seed: 0x51,
+        };
+        let t = fig11_cross(&ctx);
+        assert_eq!(t.rows.len(), 1);
+        let init: f64 = t.rows[0][1].parse().unwrap();
+        let uninit: f64 = t.rows[0][2].parse().unwrap();
+        assert!(init < uninit, "init {init} not better than uninit {uninit}");
+    }
+}

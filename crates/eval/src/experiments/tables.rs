@@ -1,0 +1,189 @@
+//! The paper's tables (1–4) and the dataset scatter figures (9, 10).
+
+use sth_core::InitConfig;
+use sth_data::gauss::GaussSpec;
+use sth_data::Dataset;
+use sth_mineclus::MineClusConfig;
+
+use crate::table::{f2, f3};
+use crate::{run_simulation, DatasetSpec, ExperimentCtx, RunConfig, Table, Variant};
+
+/// Table 1: dimensionalities and tuple counts of the datasets.
+pub fn table1_datasets(ctx: &ExperimentCtx) -> Table {
+    let mut t = Table::new("Table 1 — datasets", &["dataset", "type", "dim", "tuples(paper)", "tuples(run)"]);
+    for (spec, kind) in [
+        (DatasetSpec::Cross2d, "synthetic"),
+        (DatasetSpec::Gauss, "synthetic"),
+        (DatasetSpec::Sky, "real-world (simulated)"),
+    ] {
+        t.push_row(vec![
+            spec.name().into(),
+            kind.into(),
+            spec.ndim().to_string(),
+            spec.paper_tuples().to_string(),
+            (((spec.paper_tuples() as f64) * ctx.scale).round() as usize).to_string(),
+        ]);
+    }
+    t.note(format!("scale={}", ctx.scale));
+    t
+}
+
+/// Table 2: MineClus parameter sweep on Sky — error, clustering time and
+/// simulation time for several (α, β) settings at 100 buckets, plus the
+/// uninitialized reference error the paper quotes in the text (0.62).
+pub fn table2_param_sweep(ctx: &ExperimentCtx) -> Table {
+    let mut t = Table::new(
+        "Table 2 — MineClus parameters on Sky (100 buckets)",
+        &["alpha", "beta", "width", "error(NAE)", "clustering_s", "sim_s"],
+    );
+    let prep = ctx.prepare(DatasetSpec::Sky);
+    let base = RunConfig {
+        train: ctx.train,
+        sim: ctx.sim,
+        cluster_sample: ctx.cluster_sample,
+        ..RunConfig::paper(100, ctx.seed)
+    };
+    // The paper sweeps α ∈ {0.01, 0.05, 0.1} and β ∈ {0.1, 0.3}; width is in
+    // the survey's raw units — here fixed in our domain units.
+    let width = 100.0;
+    for (alpha, beta) in [(0.01, 0.10), (0.05, 0.10), (0.10, 0.10), (0.01, 0.30)] {
+        let variant = Variant::Initialized {
+            mineclus: MineClusConfig { alpha, beta, width, ..MineClusConfig::default() },
+            init: InitConfig::default(),
+        };
+        let out = run_simulation(&prep, &variant, &base);
+        t.push_row(vec![
+            f2(alpha),
+            f2(beta),
+            f2(width),
+            f3(out.nae),
+            f2(out.clustering_secs),
+            f2(out.sim_secs),
+        ]);
+    }
+    let uninit = run_simulation(&prep, &Variant::Uninitialized, &base);
+    t.note(format!("uninitialized STHoles reference error: {}", f3(uninit.nae)));
+    t.note(format!("scale={}, clustering sample={:?}", ctx.scale, ctx.cluster_sample));
+    t
+}
+
+/// Table 3: the higher-dimensional Cross variants.
+pub fn table3_cross_variants(ctx: &ExperimentCtx) -> Table {
+    let mut t = Table::new("Table 3 — Cross variants", &["dataset", "dim", "tuples(paper)", "tuples(run)"]);
+    for spec in [DatasetSpec::Cross3d, DatasetSpec::Cross4d, DatasetSpec::Cross5d] {
+        t.push_row(vec![
+            spec.name().into(),
+            spec.ndim().to_string(),
+            spec.paper_tuples().to_string(),
+            (((spec.paper_tuples() as f64) * ctx.scale).round() as usize).to_string(),
+        ]);
+    }
+    t.note(format!("scale={}", ctx.scale));
+    t
+}
+
+/// Table 4: clusters found by MineClus in the Sky dataset — unused
+/// dimensions and tuple counts (1-indexed dimensions, as in the paper).
+pub fn table4_sky_clusters(ctx: &ExperimentCtx) -> Table {
+    let prep = ctx.prepare(DatasetSpec::Sky);
+    let cfg = RunConfig {
+        train: 0,
+        sim: 0,
+        cluster_sample: ctx.cluster_sample,
+        ..RunConfig::paper(100, ctx.seed)
+    };
+    let out = run_simulation(&prep, &Variant::initialized_default(), &cfg);
+    let report = out.init_report.expect("initialized run must carry a report");
+    let scale_up = prep.data.len() as f64 / report.clustered_on as f64;
+
+    let mut t = Table::new(
+        "Table 4 — clusters found in Sky",
+        &["cluster", "unused_dims(1-indexed)", "tuples(est)"],
+    );
+    let mut full_dim = 0;
+    let mut subspace = 0;
+    for c in &report.clusters {
+        let unused: Vec<String> = c.unused_dims.iter().map(|d| (d + 1).to_string()).collect();
+        if unused.is_empty() {
+            full_dim += 1;
+        } else {
+            subspace += 1;
+        }
+        t.push_row(vec![
+            format!("C{}", c.id),
+            if unused.is_empty() { "none".into() } else { unused.join(",") },
+            format!("{}", (c.tuples as f64 * scale_up).round() as u64),
+        ]);
+    }
+    t.note(format!("{full_dim} full-dimensional clusters, {subspace} subspace clusters (paper: 11 / 9)"));
+    t.note(format!("clustering took {:.2}s on {} tuples", report.clustering_secs, report.clustered_on));
+    t
+}
+
+/// ASCII density rendering of a 2-d dataset: the textual equivalent of a
+/// scatter plot.
+fn density_plot(data: &Dataset, title: &str, cols: usize, rows: usize) -> Table {
+    let domain = data.domain();
+    let mut counts = vec![0u32; cols * rows];
+    for i in 0..data.len() {
+        let tx = (data.value(i, 0) - domain.lo()[0]) / domain.extent(0);
+        let ty = (data.value(i, 1) - domain.lo()[1]) / domain.extent(1);
+        let cx = ((tx * cols as f64) as usize).min(cols - 1);
+        let cy = ((ty * rows as f64) as usize).min(rows - 1);
+        counts[cy * cols + cx] += 1;
+    }
+    let max = *counts.iter().max().unwrap_or(&1) as f64;
+    let shades = [' ', '.', ':', '+', '*', '#', '@'];
+    let mut t = Table::new(title, &["density (y grows upward)"]);
+    for row in (0..rows).rev() {
+        let line: String = (0..cols)
+            .map(|c| {
+                let v = counts[row * cols + c] as f64 / max.max(1.0);
+                shades[((v * (shades.len() - 1) as f64).ceil() as usize).min(shades.len() - 1)]
+            })
+            .collect();
+        t.push_row(vec![line]);
+    }
+    t.note(format!("{} tuples; darkest cell = {} tuples", data.len(), max as u64));
+    t
+}
+
+/// Fig. 9: the Cross dataset.
+pub fn fig9_cross_scatter(ctx: &ExperimentCtx) -> Table {
+    let data = DatasetSpec::Cross2d.generate(ctx.scale);
+    density_plot(&data, "Fig. 9 — the Cross dataset", 64, 24)
+}
+
+/// Fig. 10: a 2-dimensional variant of the Gauss dataset.
+pub fn fig10_gauss_scatter(ctx: &ExperimentCtx) -> Table {
+    let data = GaussSpec::fig10().scaled(ctx.scale.max(0.05)).generate();
+    density_plot(&data, "Fig. 10 — 2-d variant of the Gauss dataset", 64, 24)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_tables_render() {
+        let ctx = ExperimentCtx { scale: 0.02, ..ExperimentCtx::quick() };
+        let t1 = table1_datasets(&ctx);
+        assert_eq!(t1.rows.len(), 3);
+        let t3 = table3_cross_variants(&ctx);
+        assert_eq!(t3.rows.len(), 3);
+        assert!(t3.rows[2][2] == "13500000");
+    }
+
+    #[test]
+    fn density_plot_shows_cross_shape() {
+        let ctx = ExperimentCtx { scale: 0.05, ..ExperimentCtx::quick() };
+        let t = fig9_cross_scatter(&ctx);
+        assert_eq!(t.rows.len(), 24);
+        // The central column (vertical band) must be denser than a corner.
+        let mid_row = &t.rows[12][0];
+        let mid_char = mid_row.chars().nth(32).unwrap();
+        let corner_char = t.rows[0][0].chars().next().unwrap();
+        let shade = |c: char| " .:+*#@".find(c).unwrap();
+        assert!(shade(mid_char) >= shade(corner_char));
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§5), plus the ablations called out in DESIGN.md.
+//!
+//! The entry points are the functions in [`experiments`]; each returns a
+//! [`Table`] whose rows mirror the series the paper plots. The `repro`
+//! binary in `sth-bench` prints them; EXPERIMENTS.md records paper-vs-
+//! measured values.
+//!
+//! Absolute numbers are not expected to match the paper (different data
+//! substitutions, hardware, constants) — the *shape* is: who wins, by what
+//! rough factor, and how trends move with buckets/dimensionality/training.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod metrics;
+mod runner;
+mod spec;
+mod table;
+
+pub use metrics::{evaluate_self_tuning, evaluate_static, normalized_absolute_error};
+pub use runner::{run_simulation, sweep, RunConfig, RunOutcome, Variant};
+pub use spec::{DatasetSpec, ExperimentCtx, PreparedDataset};
+pub use table::Table;

@@ -1,0 +1,131 @@
+//! Error metrics (Eq. 9 and Eq. 10 of the paper).
+
+use sth_index::{RangeCounter, ResultSetCounter};
+use sth_query::{CardinalityEstimator, SelfTuning, Workload};
+
+/// Mean Absolute Error over a workload (Eq. 9):
+/// `E(H, W) = 1/|W| Σ |est(H, q) − real(q)|` for a *static* estimator.
+pub fn evaluate_static(
+    estimator: &dyn CardinalityEstimator,
+    workload: &Workload,
+    counter: &dyn RangeCounter,
+) -> f64 {
+    if workload.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for q in workload.queries() {
+        let truth = counter.count(q.rect()) as f64;
+        sum += (estimator.estimate(q.rect()) - truth).abs();
+    }
+    sum / workload.len() as f64
+}
+
+/// Mean Absolute Error over a workload for a *self-tuning* estimator: each
+/// query is estimated first, then (unless `refine` is false or the estimator
+/// is frozen) its feedback refines the histogram — the paper's simulation
+/// loop ("histogram refinement continues during the simulation").
+pub fn evaluate_self_tuning(
+    estimator: &mut dyn SelfTuning,
+    workload: &Workload,
+    counter: &dyn RangeCounter,
+    refine: bool,
+) -> f64 {
+    if workload.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for q in workload.queries() {
+        if refine {
+            // Execute the query once and feed the histogram from its result
+            // stream — the deployed feedback path, and far cheaper than
+            // probing the index for every candidate hole.
+            match ResultSetCounter::from_counter(counter, q.rect()) {
+                Some(result) => {
+                    let truth = result.total() as f64;
+                    sum += (estimator.estimate(q.rect()) - truth).abs();
+                    estimator.refine(q.rect(), &result);
+                }
+                None => {
+                    let truth = counter.count(q.rect()) as f64;
+                    sum += (estimator.estimate(q.rect()) - truth).abs();
+                    estimator.refine(q.rect(), counter);
+                }
+            }
+        } else {
+            let truth = counter.count(q.rect()) as f64;
+            sum += (estimator.estimate(q.rect()) - truth).abs();
+        }
+    }
+    sum / workload.len() as f64
+}
+
+/// Normalized Absolute Error (Eq. 10): the estimator's MAE divided by the
+/// MAE of the trivial single-bucket histogram `H0` on the same workload.
+/// Values < 1 beat "assume everything is uniform"; the paper plots this.
+pub fn normalized_absolute_error(mae: f64, trivial_mae: f64) -> f64 {
+    if trivial_mae <= 0.0 {
+        // A workload H0 answers perfectly (e.g. truly uniform data): any
+        // nonzero error is infinitely worse; zero error matches.
+        return if mae <= 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    mae / trivial_mae
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sth_baselines::TrivialHistogram;
+    use sth_core::build_uninitialized;
+    use sth_data::cross::CrossSpec;
+    use sth_index::KdCountTree;
+    use sth_query::WorkloadSpec;
+
+    #[test]
+    fn trivial_has_positive_error_on_clustered_data() {
+        let ds = CrossSpec::cross2d().scaled(0.05).generate();
+        let tree = KdCountTree::build(&ds);
+        let wl = WorkloadSpec { count: 100, ..WorkloadSpec::paper(0.01, 11) }
+            .generate(ds.domain(), None);
+        let h0 = TrivialHistogram::for_dataset(&ds);
+        let err = evaluate_static(&h0, &wl, &tree);
+        assert!(err > 0.0);
+    }
+
+    #[test]
+    fn self_tuning_improves_with_refinement() {
+        let ds = CrossSpec::cross2d().scaled(0.05).generate();
+        let tree = KdCountTree::build(&ds);
+        let spec = WorkloadSpec { count: 400, ..WorkloadSpec::paper(0.01, 13) };
+        let wl = spec.generate(ds.domain(), None);
+        let (train, sim) = wl.split_train(300);
+
+        // Refined histogram vs the same histogram left untrained.
+        let mut trained = build_uninitialized(&ds, 50);
+        evaluate_self_tuning(&mut trained, &train, &tree, true);
+        let err_trained = evaluate_self_tuning(&mut trained, &sim, &tree, true);
+
+        let mut raw = build_uninitialized(&ds, 50);
+        let err_raw = evaluate_self_tuning(&mut raw, &sim, &tree, false);
+        assert!(
+            err_trained < err_raw,
+            "training did not help: {err_trained} vs {err_raw}"
+        );
+    }
+
+    #[test]
+    fn nae_normalization() {
+        assert_eq!(normalized_absolute_error(5.0, 10.0), 0.5);
+        assert_eq!(normalized_absolute_error(0.0, 0.0), 0.0);
+        assert!(normalized_absolute_error(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn empty_workload_is_zero_error() {
+        let ds = CrossSpec::cross2d().scaled(0.01).generate();
+        let tree = KdCountTree::build(&ds);
+        let h0 = TrivialHistogram::for_dataset(&ds);
+        let empty = sth_query::Workload::new(vec![]);
+        assert_eq!(evaluate_static(&h0, &empty, &tree), 0.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! The simulation loop shared by all experiments.
+
+use std::time::Instant;
+
+use sth_baselines::TrivialHistogram;
+use sth_core::{build_initialized, build_uninitialized, InitConfig, InitReport};
+use sth_mineclus::{MineClus, MineClusConfig};
+use sth_query::{CenterDistribution, SelfTuning, Workload, WorkloadSpec};
+
+use crate::metrics::{evaluate_self_tuning, evaluate_static, normalized_absolute_error};
+use crate::spec::PreparedDataset;
+
+/// Which histogram variant to run.
+#[derive(Clone, Debug)]
+pub enum Variant {
+    /// Plain STHoles learning from scratch — the paper's baseline.
+    Uninitialized,
+    /// STHoles initialized by subspace clustering — the paper's method.
+    Initialized {
+        /// MineClus parameters.
+        mineclus: MineClusConfig,
+        /// Rectangle/order options.
+        init: InitConfig,
+    },
+}
+
+impl Variant {
+    /// Default initialized variant (MineClus defaults, extended BRs,
+    /// importance order).
+    pub fn initialized_default() -> Self {
+        Variant::Initialized { mineclus: MineClusConfig::default(), init: InitConfig::default() }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            Variant::Uninitialized => "uninitialized".into(),
+            Variant::Initialized { init, .. } => match init.order {
+                sth_core::InitOrder::Importance => match init.br_mode {
+                    sth_core::BrMode::Extended => "initialized".into(),
+                    sth_core::BrMode::Minimal => "initialized(mbr)".into(),
+                },
+                sth_core::InitOrder::Reversed => "initialized(reversed)".into(),
+                sth_core::InitOrder::Random(_) => "initialized(random)".into(),
+            },
+        }
+    }
+}
+
+/// One simulation's parameters.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Bucket budget.
+    pub buckets: usize,
+    /// Training queries.
+    pub train: usize,
+    /// Simulation (error-measured) queries.
+    pub sim: usize,
+    /// Query volume fraction (0.01 = the paper's `[1%]`).
+    pub volume_frac: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Center distribution.
+    pub centers: CenterDistribution,
+    /// Freeze learning after the training phase (Fig. 17 setup). All other
+    /// experiments keep refining during simulation.
+    pub freeze_after_training: bool,
+    /// Tuples fed to clustering (None = all).
+    pub cluster_sample: Option<usize>,
+    /// Optional explicit training workload override (for permutation
+    /// experiments); `sim` queries are still generated from `seed`.
+    pub train_override: Option<Workload>,
+}
+
+impl RunConfig {
+    /// Paper defaults: 1,000 + 1,000 queries, 1% volume, uniform centers.
+    pub fn paper(buckets: usize, seed: u64) -> Self {
+        Self {
+            buckets,
+            train: 1_000,
+            sim: 1_000,
+            volume_frac: 0.01,
+            seed,
+            centers: CenterDistribution::Uniform,
+            freeze_after_training: false,
+            cluster_sample: None,
+            train_override: None,
+        }
+    }
+}
+
+/// What one simulation produced.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Variant label.
+    pub variant: String,
+    /// Bucket budget used.
+    pub buckets: usize,
+    /// Mean absolute error on the simulation workload (Eq. 9).
+    pub mae: f64,
+    /// Normalized absolute error (Eq. 10).
+    pub nae: f64,
+    /// Wall-clock seconds for clustering (0 for uninitialized).
+    pub clustering_secs: f64,
+    /// Wall-clock seconds for training + simulation.
+    pub sim_secs: f64,
+    /// Subspace buckets in the final histogram.
+    pub subspace_buckets: usize,
+    /// Initialization report, when applicable.
+    pub init_report: Option<InitReport>,
+}
+
+/// Runs one full simulation: build (± initialize), train, then measure the
+/// NAE over the simulation workload.
+pub fn run_simulation(prep: &PreparedDataset, variant: &Variant, cfg: &RunConfig) -> RunOutcome {
+    let data = &*prep.data;
+    let counter = &*prep.index;
+
+    // Workload: train prefix + simulation suffix from one generator, as in
+    // the paper ("the workload is the same for all histograms").
+    let spec = WorkloadSpec {
+        count: cfg.train + cfg.sim,
+        volume_fraction: cfg.volume_frac,
+        centers: cfg.centers,
+        seed: cfg.seed,
+    };
+    let source = match cfg.centers {
+        CenterDistribution::Uniform => None,
+        CenterDistribution::DataFollowing => Some(data),
+    };
+    let wl = spec.generate(data.domain(), source);
+    let (train, sim) = wl.split_train(cfg.train);
+    let train = cfg.train_override.clone().unwrap_or(train);
+
+    // Build.
+    let (mut hist, init_report, clustering_secs) = match variant {
+        Variant::Uninitialized => (build_uninitialized(data, cfg.buckets), None, 0.0),
+        Variant::Initialized { mineclus, init } => {
+            let mc = MineClus::new(mineclus.clone());
+            let (h, report) =
+                build_initialized(data, cfg.buckets, &mc, init, cfg.cluster_sample, counter);
+            let secs = report.clustering_secs;
+            (h, Some(report), secs)
+        }
+    };
+
+    // Train + simulate.
+    let t0 = Instant::now();
+    evaluate_self_tuning(&mut hist, &train, counter, true);
+    if cfg.freeze_after_training {
+        hist.set_frozen(true);
+    }
+    let mae = evaluate_self_tuning(&mut hist, &sim, counter, true);
+    let sim_secs = t0.elapsed().as_secs_f64();
+
+    // Normalize by H0 on the same simulation workload.
+    let h0 = TrivialHistogram::for_dataset(data);
+    let trivial_mae = evaluate_static(&h0, &sim, counter);
+    let nae = normalized_absolute_error(mae, trivial_mae);
+
+    RunOutcome {
+        variant: variant.label(),
+        buckets: cfg.buckets,
+        mae,
+        nae,
+        clustering_secs,
+        sim_secs,
+        subspace_buckets: hist.subspace_bucket_count(),
+        init_report,
+    }
+}
+
+/// Runs the cartesian product `variants × bucket_counts` in parallel (one
+/// thread per combination, bounded by the OS scheduler — combinations are
+/// few and long-running).
+pub fn sweep(
+    prep: &PreparedDataset,
+    variants: &[Variant],
+    bucket_counts: &[usize],
+    base: &RunConfig,
+) -> Vec<RunOutcome> {
+    let mut jobs: Vec<(usize, Variant, usize)> = Vec::new();
+    let mut k = 0;
+    for v in variants {
+        for &b in bucket_counts {
+            jobs.push((k, v.clone(), b));
+            k += 1;
+        }
+    }
+    let mut results: Vec<Option<RunOutcome>> = vec![None; jobs.len()];
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (idx, v, b) in &jobs {
+            let cfg = RunConfig { buckets: *b, ..base.clone() };
+            let v = v.clone();
+            handles.push((*idx, s.spawn(move |_| run_simulation(prep, &v, &cfg))));
+        }
+        for (idx, h) in handles {
+            results[idx] = Some(h.join().expect("simulation thread panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    results.into_iter().map(Option::unwrap).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DatasetSpec, ExperimentCtx};
+
+    fn tiny_ctx() -> ExperimentCtx {
+        ExperimentCtx {
+            scale: 0.05,
+            train: 60,
+            sim: 60,
+            buckets: vec![20],
+            cluster_sample: None,
+            seed: 0xAB,
+        }
+    }
+
+    #[test]
+    fn initialized_beats_uninitialized_on_cross() {
+        let ctx = tiny_ctx();
+        let prep = ctx.prepare(DatasetSpec::Cross2d);
+        let cfg = RunConfig {
+            buckets: 20,
+            train: ctx.train,
+            sim: ctx.sim,
+            ..RunConfig::paper(20, ctx.seed)
+        };
+        let uninit = run_simulation(&prep, &Variant::Uninitialized, &cfg);
+        let init = run_simulation(&prep, &Variant::initialized_default(), &cfg);
+        assert!(uninit.nae.is_finite() && init.nae.is_finite());
+        assert!(
+            init.nae < uninit.nae,
+            "initialization did not help: init {} vs uninit {}",
+            init.nae,
+            uninit.nae
+        );
+        assert!(init.init_report.is_some());
+        assert!(uninit.init_report.is_none());
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let ctx = tiny_ctx();
+        let prep = ctx.prepare(DatasetSpec::Cross2d);
+        let cfg = RunConfig { train: 30, sim: 30, ..RunConfig::paper(10, 1) };
+        let out = sweep(
+            &prep,
+            &[Variant::Uninitialized, Variant::initialized_default()],
+            &[10, 20],
+            &cfg,
+        );
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].variant, "uninitialized");
+        assert_eq!(out[0].buckets, 10);
+        assert_eq!(out[3].variant, "initialized");
+        assert_eq!(out[3].buckets, 20);
+    }
+
+    #[test]
+    fn freeze_after_training_stops_learning() {
+        let ctx = tiny_ctx();
+        let prep = ctx.prepare(DatasetSpec::Cross2d);
+        let cfg = RunConfig {
+            freeze_after_training: true,
+            train: 5, // nearly no training
+            sim: 60,
+            ..RunConfig::paper(20, 7)
+        };
+        let frozen = run_simulation(&prep, &Variant::Uninitialized, &cfg);
+        let live = run_simulation(
+            &prep,
+            &Variant::Uninitialized,
+            &RunConfig { freeze_after_training: false, ..cfg.clone() },
+        );
+        // Learning during simulation must help compared to frozen-early.
+        assert!(live.nae <= frozen.nae + 1e-9);
+    }
+}

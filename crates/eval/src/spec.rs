@@ -1,0 +1,178 @@
+//! Dataset specifications and the experiment context.
+
+use std::sync::Arc;
+
+use sth_data::cross::CrossSpec;
+use sth_data::gauss::GaussSpec;
+use sth_data::particle::ParticleSpec;
+use sth_data::sky::SkySpec;
+use sth_data::Dataset;
+use sth_index::KdCountTree;
+
+/// The datasets of the paper's evaluation (Table 1 and Table 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetSpec {
+    /// 2-d Cross, 22,000 tuples (Table 1).
+    Cross2d,
+    /// 3-d Cross, 9,000 tuples (Table 3).
+    Cross3d,
+    /// 4-d Cross, 360,000 tuples (Table 3).
+    Cross4d,
+    /// 5-d Cross, 13,500,000 tuples (Table 3).
+    Cross5d,
+    /// 6-d Gauss, 110,000 tuples (Table 1).
+    Gauss,
+    /// 7-d Sky, ≈1.7 M tuples (Table 1; synthetic stand-in, see DESIGN.md).
+    Sky,
+    /// 18-d particle-physics stand-in, 5 M tuples (tech report).
+    Particle,
+}
+
+impl DatasetSpec {
+    /// Dataset name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetSpec::Cross2d => "Cross",
+            DatasetSpec::Cross3d => "Cross3d",
+            DatasetSpec::Cross4d => "Cross4d",
+            DatasetSpec::Cross5d => "Cross5d",
+            DatasetSpec::Gauss => "Gauss",
+            DatasetSpec::Sky => "Sky",
+            DatasetSpec::Particle => "Particle",
+        }
+    }
+
+    /// Dimensionality.
+    pub fn ndim(&self) -> usize {
+        match self {
+            DatasetSpec::Cross2d => 2,
+            DatasetSpec::Cross3d => 3,
+            DatasetSpec::Cross4d => 4,
+            DatasetSpec::Cross5d => 5,
+            DatasetSpec::Gauss => 6,
+            DatasetSpec::Sky => 7,
+            DatasetSpec::Particle => 18,
+        }
+    }
+
+    /// Paper-scale tuple count.
+    pub fn paper_tuples(&self) -> usize {
+        match self {
+            DatasetSpec::Cross2d => CrossSpec::cross2d().total(),
+            DatasetSpec::Cross3d => CrossSpec::cross3d().total(),
+            DatasetSpec::Cross4d => CrossSpec::cross4d().total(),
+            DatasetSpec::Cross5d => CrossSpec::cross5d().total(),
+            DatasetSpec::Gauss => GaussSpec::paper().total(),
+            DatasetSpec::Sky => SkySpec::paper().total(),
+            DatasetSpec::Particle => ParticleSpec::paper().total(),
+        }
+    }
+
+    /// Generates the dataset at `scale` × the paper's tuple counts.
+    pub fn generate(&self, scale: f64) -> Dataset {
+        match self {
+            DatasetSpec::Cross2d => CrossSpec::cross2d().scaled(scale).generate(),
+            DatasetSpec::Cross3d => CrossSpec::cross3d().scaled(scale).generate(),
+            DatasetSpec::Cross4d => CrossSpec::cross4d().scaled(scale).generate(),
+            DatasetSpec::Cross5d => CrossSpec::cross5d().scaled(scale).generate(),
+            DatasetSpec::Gauss => GaussSpec::paper().scaled(scale).generate(),
+            DatasetSpec::Sky => SkySpec::scaled(scale).generate(),
+            DatasetSpec::Particle => ParticleSpec::paper().scaled(scale).generate(),
+        }
+    }
+}
+
+/// Global knobs for one experiment run: tuple-count scale and workload
+/// sizes. Experiments take the paper's values by default and shrink
+/// uniformly under `--scale`/`--quick`.
+#[derive(Clone, Debug)]
+pub struct ExperimentCtx {
+    /// Tuple-count scale (1.0 = paper size).
+    pub scale: f64,
+    /// Training queries (paper: 1,000).
+    pub train: usize,
+    /// Simulation queries (paper: 1,000).
+    pub sim: usize,
+    /// Bucket counts swept in the accuracy figures (paper: 50..250).
+    pub buckets: Vec<usize>,
+    /// Cap on tuples fed to the clustering algorithm (boundaries only;
+    /// counts always come from the full data).
+    pub cluster_sample: Option<usize>,
+    /// Base workload seed.
+    pub seed: u64,
+}
+
+impl ExperimentCtx {
+    /// The paper's full-scale settings. Sky at full scale holds 1.75 M
+    /// tuples — expect multi-hour runtimes; use [`ExperimentCtx::quick`] or
+    /// a fractional scale for laptop runs.
+    pub fn paper() -> Self {
+        Self {
+            scale: 1.0,
+            train: 1_000,
+            sim: 1_000,
+            buckets: vec![50, 100, 150, 200, 250],
+            cluster_sample: Some(60_000),
+            seed: 0xE0,
+        }
+    }
+
+    /// A reduced setting that preserves every trend and finishes quickly:
+    /// 10% tuples, 300+300 queries, three bucket counts.
+    pub fn quick() -> Self {
+        Self {
+            scale: 0.1,
+            train: 300,
+            sim: 300,
+            buckets: vec![50, 100, 250],
+            cluster_sample: Some(20_000),
+            seed: 0xE0,
+        }
+    }
+
+    /// Paper workloads at a custom tuple scale.
+    pub fn at_scale(scale: f64) -> Self {
+        Self { scale, ..Self::paper() }
+    }
+
+    /// Generates and indexes a dataset under this context.
+    pub fn prepare(&self, spec: DatasetSpec) -> PreparedDataset {
+        let data = Arc::new(spec.generate(self.scale));
+        let index = Arc::new(KdCountTree::build(&data));
+        PreparedDataset { spec, data, index }
+    }
+}
+
+/// A generated dataset plus its counting index, shareable across threads.
+#[derive(Clone)]
+pub struct PreparedDataset {
+    /// Which dataset this is.
+    pub spec: DatasetSpec,
+    /// The tuples.
+    pub data: Arc<Dataset>,
+    /// Exact range-count index over the tuples.
+    pub index: Arc<KdCountTree>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sth_index::RangeCounter;
+
+    #[test]
+    fn paper_tuple_counts() {
+        assert_eq!(DatasetSpec::Cross2d.paper_tuples(), 22_000);
+        assert_eq!(DatasetSpec::Cross5d.paper_tuples(), 13_500_000);
+        assert_eq!(DatasetSpec::Gauss.paper_tuples(), 110_000);
+        assert!((1_650_000..=1_800_000).contains(&DatasetSpec::Sky.paper_tuples()));
+        assert_eq!(DatasetSpec::Particle.paper_tuples(), 5_000_000);
+    }
+
+    #[test]
+    fn prepare_builds_consistent_index() {
+        let ctx = ExperimentCtx { scale: 0.01, ..ExperimentCtx::quick() };
+        let p = ctx.prepare(DatasetSpec::Gauss);
+        assert_eq!(p.index.total(), p.data.len() as u64);
+        assert_eq!(p.data.ndim(), 6);
+    }
+}

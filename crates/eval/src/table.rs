@@ -1,0 +1,124 @@
+//! Plain-text result tables.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A titled table of strings — the common output format of all experiments.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table {
+    /// Table/figure title, e.g. `"Fig. 11 — Cross[1%]"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each row must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (scale, substitutions, …).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics on arity mismatch.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch in '{}'", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders as CSV (headers + rows; title and notes as `#` comments).
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("# {}\n", self.title);
+        for n in &self.notes {
+            out.push_str(&format!("# {n}\n"));
+        }
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column widths.
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, "{:>width$}  ", c, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 3 decimal places — the precision the paper's plots
+/// can be read at.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with 2 decimal places.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_csvs() {
+        let mut t = Table::new("Demo", &["buckets", "nae"]);
+        t.push_row(vec!["50".into(), f3(0.1234)]);
+        t.push_row(vec!["100".into(), f3(0.0456)]);
+        t.note("scale=0.1");
+        let s = format!("{t}");
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("0.123"));
+        assert!(s.contains("note: scale=0.1"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("# Demo\n"));
+        assert!(csv.contains("buckets,nae"));
+        assert!(csv.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn rejects_bad_rows() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+}

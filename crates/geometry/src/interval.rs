@@ -1,0 +1,109 @@
+//! One-dimensional half-open intervals.
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open interval `[lo, hi)` on one attribute.
+///
+/// `lo == hi` denotes the empty interval. Intervals never have `lo > hi`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Creates `[lo, hi)`. Panics if the bounds are not finite or `lo > hi`.
+    #[inline]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "interval bounds must be finite");
+        assert!(lo <= hi, "interval lower bound {lo} exceeds upper bound {hi}");
+        Self { lo, hi }
+    }
+
+    /// Lower (inclusive) bound.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper (exclusive) bound.
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Interval length `hi - lo`.
+    #[inline]
+    pub fn len(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// `true` when the interval contains no point.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+
+    /// `true` when `x ∈ [lo, hi)`.
+    #[inline]
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x < self.hi
+    }
+
+    /// Intersection of two intervals; empty result is collapsed to a
+    /// zero-length interval at the overlap point.
+    #[inline]
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo >= hi {
+            Interval { lo, hi: lo }
+        } else {
+            Interval { lo, hi }
+        }
+    }
+
+    /// Smallest interval covering both inputs.
+    #[inline]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Length of the overlap with `other` (zero when disjoint).
+    #[inline]
+    pub fn overlap_len(&self, other: &Interval) -> f64 {
+        (self.hi.min(other.hi) - self.lo.max(other.lo)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let a = Interval::new(0.0, 10.0);
+        let b = Interval::new(5.0, 15.0);
+        assert_eq!(a.len(), 10.0);
+        assert!(a.contains(0.0));
+        assert!(!a.contains(10.0));
+        assert_eq!(a.intersect(&b), Interval::new(5.0, 10.0));
+        assert_eq!(a.hull(&b), Interval::new(0.0, 15.0));
+        assert_eq!(a.overlap_len(&b), 5.0);
+    }
+
+    #[test]
+    fn disjoint_intersection_is_empty() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(2.0, 3.0);
+        let i = a.intersect(&b);
+        assert!(i.is_empty());
+        assert_eq!(a.overlap_len(&b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds upper bound")]
+    fn rejects_inverted_bounds() {
+        let _ = Interval::new(2.0, 1.0);
+    }
+}

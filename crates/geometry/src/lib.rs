@@ -1,0 +1,57 @@
+//! Axis-aligned geometry substrate for the `sth` histogram library.
+//!
+//! Everything in the self-tuning histogram stack — buckets, queries, clusters —
+//! is an axis-parallel hyper-rectangle over a numeric attribute space. This
+//! crate provides the [`Rect`] type with the exact operations the STHoles
+//! algorithm needs (intersection, own-volume computation, shrinking, bounding
+//! unions) plus small helpers shared by the data generators and the clustering
+//! code.
+//!
+//! Conventions:
+//! * Rectangles are half-open boxes `[lo, hi)` per dimension. Half-open
+//!   semantics make point containment unambiguous when buckets tile a region.
+//! * A rectangle with `lo[d] == hi[d]` in some dimension is *empty* (zero
+//!   volume, contains no point).
+//! * All coordinates are finite `f64`; constructors check this.
+
+#![warn(missing_docs)]
+
+mod interval;
+mod rect;
+mod shrink;
+
+pub use interval::Interval;
+pub use rect::{Rect, RectError};
+pub use shrink::{best_shrink, Shrink};
+
+/// Relative tolerance used by the approximate comparison helpers.
+pub const REL_EPS: f64 = 1e-9;
+
+/// `true` when `a` and `b` are equal up to a relative tolerance of
+/// [`REL_EPS`] (with an absolute fallback near zero).
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    let diff = (a - b).abs();
+    if diff <= REL_EPS {
+        return true;
+    }
+    diff <= REL_EPS * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_near_zero() {
+        assert!(approx_eq(0.0, 0.0));
+        assert!(approx_eq(0.0, 1e-12));
+        assert!(!approx_eq(0.0, 1e-3));
+    }
+
+    #[test]
+    fn approx_eq_relative() {
+        assert!(approx_eq(1e12, 1e12 * (1.0 + 1e-10)));
+        assert!(!approx_eq(1e12, 1e12 * 1.001));
+    }
+}

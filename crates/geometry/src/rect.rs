@@ -1,0 +1,374 @@
+//! Axis-parallel hyper-rectangles.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Interval;
+
+/// Error returned by the fallible [`Rect`] constructors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RectError {
+    /// `lo` and `hi` have different lengths.
+    DimensionMismatch {
+        /// Length of the lower-bound slice.
+        lo: usize,
+        /// Length of the upper-bound slice.
+        hi: usize,
+    },
+    /// A coordinate was NaN or infinite.
+    NonFinite {
+        /// Offending dimension.
+        dim: usize,
+    },
+    /// `lo[dim] > hi[dim]`.
+    Inverted {
+        /// Offending dimension.
+        dim: usize,
+    },
+    /// A zero-dimensional rectangle was requested.
+    ZeroDimensional,
+}
+
+impl fmt::Display for RectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RectError::DimensionMismatch { lo, hi } => {
+                write!(f, "lo has {lo} dimensions but hi has {hi}")
+            }
+            RectError::NonFinite { dim } => write!(f, "non-finite bound in dimension {dim}"),
+            RectError::Inverted { dim } => write!(f, "lo > hi in dimension {dim}"),
+            RectError::ZeroDimensional => write!(f, "rectangles must have at least one dimension"),
+        }
+    }
+}
+
+impl std::error::Error for RectError {}
+
+/// An axis-parallel hyper-rectangle: the cartesian product of half-open
+/// intervals `[lo[d], hi[d])`.
+///
+/// `Rect` is the common currency of the whole library: histogram buckets,
+/// range queries and cluster bounding boxes are all `Rect`s.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    lo: Box<[f64]>,
+    hi: Box<[f64]>,
+}
+
+impl Rect {
+    /// Creates a rectangle from lower/upper bound slices.
+    pub fn new(lo: &[f64], hi: &[f64]) -> Result<Self, RectError> {
+        if lo.len() != hi.len() {
+            return Err(RectError::DimensionMismatch { lo: lo.len(), hi: hi.len() });
+        }
+        if lo.is_empty() {
+            return Err(RectError::ZeroDimensional);
+        }
+        for d in 0..lo.len() {
+            if !lo[d].is_finite() || !hi[d].is_finite() {
+                return Err(RectError::NonFinite { dim: d });
+            }
+            if lo[d] > hi[d] {
+                return Err(RectError::Inverted { dim: d });
+            }
+        }
+        Ok(Self { lo: lo.into(), hi: hi.into() })
+    }
+
+    /// Like [`Rect::new`], but panics on invalid input. Convenient in tests
+    /// and generators where the bounds are statically known to be valid.
+    pub fn from_bounds(lo: &[f64], hi: &[f64]) -> Self {
+        Self::new(lo, hi).expect("invalid rectangle bounds")
+    }
+
+    /// The unit hyper-cube `[0,1)^dim`.
+    pub fn unit(dim: usize) -> Self {
+        assert!(dim > 0, "rectangles must have at least one dimension");
+        Self { lo: vec![0.0; dim].into(), hi: vec![1.0; dim].into() }
+    }
+
+    /// A cube `[lo, hi)^dim`.
+    pub fn cube(dim: usize, lo: f64, hi: f64) -> Self {
+        Self::from_bounds(&vec![lo; dim], &vec![hi; dim])
+    }
+
+    /// Builds a rectangle from per-dimension intervals.
+    pub fn from_intervals(ivs: &[Interval]) -> Self {
+        assert!(!ivs.is_empty(), "rectangles must have at least one dimension");
+        let lo: Vec<f64> = ivs.iter().map(Interval::lo).collect();
+        let hi: Vec<f64> = ivs.iter().map(Interval::hi).collect();
+        Self { lo: lo.into(), hi: hi.into() }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower bounds.
+    #[inline]
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper bounds.
+    #[inline]
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// The interval spanned in dimension `d`.
+    #[inline]
+    pub fn interval(&self, d: usize) -> Interval {
+        Interval::new(self.lo[d], self.hi[d])
+    }
+
+    /// Extent `hi[d] - lo[d]` in dimension `d`.
+    #[inline]
+    pub fn extent(&self, d: usize) -> f64 {
+        self.hi[d] - self.lo[d]
+    }
+
+    /// Center point of the rectangle.
+    pub fn center(&self) -> Vec<f64> {
+        (0..self.ndim()).map(|d| 0.5 * (self.lo[d] + self.hi[d])).collect()
+    }
+
+    /// Product of all extents. Empty rectangles have volume zero.
+    pub fn volume(&self) -> f64 {
+        let mut v = 1.0;
+        for d in 0..self.ndim() {
+            v *= self.extent(d);
+        }
+        v
+    }
+
+    /// `true` if some dimension is empty, i.e. the rectangle contains no point.
+    pub fn is_empty(&self) -> bool {
+        (0..self.ndim()).any(|d| self.lo[d] >= self.hi[d])
+    }
+
+    /// Point membership under half-open semantics.
+    #[inline]
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        debug_assert_eq!(p.len(), self.ndim());
+        for (d, &v) in p.iter().enumerate() {
+            if v < self.lo[d] || v >= self.hi[d] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `true` when `other` lies entirely inside `self` (empty rectangles are
+    /// contained in everything of matching dimensionality).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.ndim(), other.ndim());
+        if other.is_empty() {
+            return true;
+        }
+        for d in 0..self.ndim() {
+            if other.lo[d] < self.lo[d] || other.hi[d] > self.hi[d] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `true` when the two rectangles share interior volume.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.ndim(), other.ndim());
+        for d in 0..self.ndim() {
+            if self.lo[d].max(other.lo[d]) >= self.hi[d].min(other.hi[d]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Intersection of two rectangles; `None` when they share no volume.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        debug_assert_eq!(self.ndim(), other.ndim());
+        let mut lo = vec![0.0; self.ndim()];
+        let mut hi = vec![0.0; self.ndim()];
+        for d in 0..self.ndim() {
+            lo[d] = self.lo[d].max(other.lo[d]);
+            hi[d] = self.hi[d].min(other.hi[d]);
+            if lo[d] >= hi[d] {
+                return None;
+            }
+        }
+        Some(Rect { lo: lo.into(), hi: hi.into() })
+    }
+
+    /// Volume of the overlap with `other` (zero when disjoint).
+    pub fn overlap_volume(&self, other: &Rect) -> f64 {
+        debug_assert_eq!(self.ndim(), other.ndim());
+        let mut v = 1.0;
+        for d in 0..self.ndim() {
+            let len = self.hi[d].min(other.hi[d]) - self.lo[d].max(other.lo[d]);
+            if len <= 0.0 {
+                return 0.0;
+            }
+            v *= len;
+        }
+        v
+    }
+
+    /// Smallest rectangle covering both inputs.
+    pub fn hull(&self, other: &Rect) -> Rect {
+        debug_assert_eq!(self.ndim(), other.ndim());
+        let lo: Vec<f64> = (0..self.ndim()).map(|d| self.lo[d].min(other.lo[d])).collect();
+        let hi: Vec<f64> = (0..self.ndim()).map(|d| self.hi[d].max(other.hi[d])).collect();
+        Rect { lo: lo.into(), hi: hi.into() }
+    }
+
+    /// Grows `self` (in place) to cover `other`.
+    pub fn extend_to_cover(&mut self, other: &Rect) {
+        debug_assert_eq!(self.ndim(), other.ndim());
+        for d in 0..self.ndim() {
+            if other.lo[d] < self.lo[d] {
+                self.lo[d] = other.lo[d];
+            }
+            if other.hi[d] > self.hi[d] {
+                self.hi[d] = other.hi[d];
+            }
+        }
+    }
+
+    /// Clamps `self` to lie inside `bounds`, returning `None` if nothing is
+    /// left.
+    pub fn clamped_to(&self, bounds: &Rect) -> Option<Rect> {
+        self.intersection(bounds)
+    }
+
+    /// Returns a copy with dimension `d` restricted to `[lo, hi)`.
+    ///
+    /// Panics if the restriction is inverted.
+    pub fn with_dim(&self, d: usize, lo: f64, hi: f64) -> Rect {
+        assert!(lo <= hi, "inverted bounds for dimension {d}");
+        let mut r = self.clone();
+        r.lo[d] = lo;
+        r.hi[d] = hi;
+        r
+    }
+
+    /// Mutable access used by the shrinking machinery.
+    pub(crate) fn set_lo(&mut self, d: usize, v: f64) {
+        self.lo[d] = v;
+    }
+
+    pub(crate) fn set_hi(&mut self, d: usize, v: f64) {
+        self.hi[d] = v;
+    }
+
+    /// `true` when `self` spans at least the full extent of `domain` in
+    /// dimension `d`. Used to detect *subspace buckets*: buckets that do not
+    /// constrain an attribute at all.
+    pub fn spans_dimension(&self, domain: &Rect, d: usize) -> bool {
+        self.lo[d] <= domain.lo[d] && self.hi[d] >= domain.hi[d]
+    }
+
+    /// Dimensions of `domain` that this rectangle does *not* constrain.
+    pub fn unconstrained_dims(&self, domain: &Rect) -> Vec<usize> {
+        (0..self.ndim()).filter(|&d| self.spans_dimension(domain, d)).collect()
+    }
+
+    /// `true` when the boxes are equal up to [`crate::REL_EPS`].
+    pub fn approx_eq(&self, other: &Rect) -> bool {
+        self.ndim() == other.ndim()
+            && (0..self.ndim()).all(|d| {
+                crate::approx_eq(self.lo[d], other.lo[d]) && crate::approx_eq(self.hi[d], other.hi[d])
+            })
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for d in 0..self.ndim() {
+            if d > 0 {
+                write!(f, " x ")?;
+            }
+            write!(f, "{:.4}..{:.4}", self.lo[d], self.hi[d])?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: &[f64], hi: &[f64]) -> Rect {
+        Rect::from_bounds(lo, hi)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Rect::new(&[0.0], &[1.0, 2.0]).is_err());
+        assert!(Rect::new(&[], &[]).is_err());
+        assert!(Rect::new(&[0.0, f64::NAN], &[1.0, 1.0]).is_err());
+        assert!(Rect::new(&[2.0], &[1.0]).is_err());
+        assert!(Rect::new(&[0.0, 0.0], &[1.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn volume_and_empty() {
+        assert_eq!(r(&[0.0, 0.0], &[2.0, 3.0]).volume(), 6.0);
+        let degenerate = r(&[0.0, 1.0], &[2.0, 1.0]);
+        assert_eq!(degenerate.volume(), 0.0);
+        assert!(degenerate.is_empty());
+        assert!(!degenerate.contains_point(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn half_open_membership() {
+        let b = r(&[0.0, 0.0], &[1.0, 1.0]);
+        assert!(b.contains_point(&[0.0, 0.0]));
+        assert!(!b.contains_point(&[1.0, 0.5]));
+        assert!(!b.contains_point(&[0.5, 1.0]));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = r(&[0.0, 0.0], &[4.0, 4.0]);
+        let b = r(&[2.0, 2.0], &[6.0, 6.0]);
+        assert_eq!(a.intersection(&b).unwrap(), r(&[2.0, 2.0], &[4.0, 4.0]));
+        assert_eq!(a.overlap_volume(&b), 4.0);
+        // Touching edges share no volume.
+        let c = r(&[4.0, 0.0], &[8.0, 4.0]);
+        assert!(a.intersection(&c).is_none());
+        assert!(!a.intersects(&c));
+        assert_eq!(a.overlap_volume(&c), 0.0);
+    }
+
+    #[test]
+    fn containment_and_hull() {
+        let outer = r(&[0.0, 0.0], &[10.0, 10.0]);
+        let inner = r(&[1.0, 2.0], &[3.0, 4.0]);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert_eq!(inner.hull(&outer), outer);
+        let mut grown = inner.clone();
+        grown.extend_to_cover(&r(&[5.0, 5.0], &[6.0, 6.0]));
+        assert_eq!(grown, r(&[1.0, 2.0], &[6.0, 6.0]));
+    }
+
+    #[test]
+    fn subspace_detection() {
+        let domain = r(&[0.0, 0.0, 0.0], &[10.0, 10.0, 10.0]);
+        let b = r(&[0.0, 3.0, 0.0], &[10.0, 5.0, 10.0]);
+        assert!(b.spans_dimension(&domain, 0));
+        assert!(!b.spans_dimension(&domain, 1));
+        assert_eq!(b.unconstrained_dims(&domain), vec![0, 2]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let b = r(&[0.0, 1.0], &[2.0, 3.0]);
+        assert_eq!(format!("{b}"), "[0.0000..2.0000 x 1.0000..3.0000]");
+    }
+}

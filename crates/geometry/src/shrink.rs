@@ -1,0 +1,137 @@
+//! Candidate-hole shrinking, the geometric core of STHoles refinement.
+//!
+//! When a query/bucket intersection partially overlaps an existing child
+//! bucket, STHoles shrinks the candidate along a *single dimension* just far
+//! enough to exclude the overlapping child, choosing the dimension and side
+//! that preserve the most volume. This module implements that primitive.
+
+use crate::Rect;
+
+/// A single-dimension shrink operation: restrict `dim` so the candidate no
+/// longer overlaps a given obstacle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Shrink {
+    /// Dimension being restricted.
+    pub dim: usize,
+    /// New lower bound for `dim`.
+    pub new_lo: f64,
+    /// New upper bound for `dim`.
+    pub new_hi: f64,
+    /// Volume of the candidate after applying the shrink.
+    pub remaining_volume: f64,
+}
+
+impl Shrink {
+    /// Applies the shrink to `rect` in place.
+    pub fn apply(&self, rect: &mut Rect) {
+        rect.set_lo(self.dim, self.new_lo);
+        rect.set_hi(self.dim, self.new_hi);
+    }
+}
+
+/// Finds the single-dimension shrink of `candidate` that removes all overlap
+/// with `obstacle` while keeping the maximum remaining volume.
+///
+/// Returns `None` when the boxes do not overlap (no shrink needed) or when
+/// `obstacle` covers `candidate` in every dimension (no single-dimension
+/// shrink can separate them — the candidate would have to vanish).
+pub fn best_shrink(candidate: &Rect, obstacle: &Rect) -> Option<Shrink> {
+    debug_assert_eq!(candidate.ndim(), obstacle.ndim());
+    if !candidate.intersects(obstacle) {
+        return None;
+    }
+
+    let volume = candidate.volume();
+    let mut best: Option<Shrink> = None;
+    for d in 0..candidate.ndim() {
+        let c_lo = candidate.lo()[d];
+        let c_hi = candidate.hi()[d];
+        let o_lo = obstacle.lo()[d];
+        let o_hi = obstacle.hi()[d];
+        let extent = c_hi - c_lo;
+        if extent <= 0.0 {
+            continue;
+        }
+        // Option 1: keep the low part [c_lo, o_lo).
+        if o_lo > c_lo {
+            let remaining = volume / extent * (o_lo - c_lo);
+            if best.as_ref().is_none_or(|b| remaining > b.remaining_volume) {
+                best = Some(Shrink { dim: d, new_lo: c_lo, new_hi: o_lo, remaining_volume: remaining });
+            }
+        }
+        // Option 2: keep the high part [o_hi, c_hi).
+        if o_hi < c_hi {
+            let remaining = volume / extent * (c_hi - o_hi);
+            if best.as_ref().is_none_or(|b| remaining > b.remaining_volume) {
+                best = Some(Shrink { dim: d, new_lo: o_hi, new_hi: c_hi, remaining_volume: remaining });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: &[f64], hi: &[f64]) -> Rect {
+        Rect::from_bounds(lo, hi)
+    }
+
+    #[test]
+    fn no_shrink_when_disjoint() {
+        let c = r(&[0.0, 0.0], &[1.0, 1.0]);
+        let o = r(&[2.0, 2.0], &[3.0, 3.0]);
+        assert!(best_shrink(&c, &o).is_none());
+    }
+
+    #[test]
+    fn shrinks_away_from_corner_overlap() {
+        // Obstacle covers the top-right corner; the best cut keeps 75% of the
+        // volume by slicing off the thin side.
+        let c = r(&[0.0, 0.0], &[10.0, 10.0]);
+        let o = r(&[8.0, 5.0], &[12.0, 12.0]);
+        let s = best_shrink(&c, &o).unwrap();
+        assert_eq!(s.dim, 0);
+        assert_eq!((s.new_lo, s.new_hi), (0.0, 8.0));
+        assert_eq!(s.remaining_volume, 80.0);
+        let mut shrunk = c.clone();
+        s.apply(&mut shrunk);
+        assert!(!shrunk.intersects(&o));
+    }
+
+    #[test]
+    fn keeps_high_side_when_better() {
+        let c = r(&[0.0], &[10.0]);
+        let o = r(&[-5.0], &[2.0]);
+        let s = best_shrink(&c, &o).unwrap();
+        assert_eq!((s.new_lo, s.new_hi), (2.0, 10.0));
+        assert_eq!(s.remaining_volume, 8.0);
+    }
+
+    #[test]
+    fn none_when_obstacle_swallows_candidate() {
+        let c = r(&[2.0, 2.0], &[3.0, 3.0]);
+        let o = r(&[0.0, 0.0], &[10.0, 10.0]);
+        assert!(best_shrink(&c, &o).is_none());
+    }
+
+    #[test]
+    fn result_never_intersects_obstacle() {
+        // A handful of deterministic configurations; the property test in
+        // tests/proptests.rs covers the general case.
+        let c = r(&[0.0, 0.0], &[4.0, 4.0]);
+        for o in [
+            r(&[1.0, 1.0], &[2.0, 2.0]),
+            r(&[3.0, -1.0], &[5.0, 5.0]),
+            r(&[-1.0, 3.5], &[5.0, 6.0]),
+        ] {
+            if let Some(s) = best_shrink(&c, &o) {
+                let mut shrunk = c.clone();
+                s.apply(&mut shrunk);
+                assert!(!shrunk.intersects(&o), "obstacle {o} still overlaps {shrunk}");
+                assert!(s.remaining_volume <= c.volume());
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The common cluster output type and its rectangle representations.
+
+use serde::{Deserialize, Serialize};
+use sth_data::Dataset;
+use sth_geometry::Rect;
+
+use crate::DimSet;
+
+/// A subspace cluster: a set of tuples plus the dimensions in which they are
+/// clustered, with a quality score that doubles as *importance* for
+/// histogram initialization (paper §4.1: "if we use the important clusters as
+/// first queries in the initialization, we have a better estimation
+/// quality").
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SubspaceCluster {
+    /// Row ids (into the clustered dataset) of the member tuples.
+    pub points: Vec<u32>,
+    /// Relevant dimensions.
+    pub dims: DimSet,
+    /// Quality/importance score (algorithm specific; MineClus uses µ).
+    pub score: f64,
+}
+
+impl SubspaceCluster {
+    /// Number of member tuples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the cluster has no members.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// `true` when at least one dimension of the dataspace is unused.
+    pub fn is_subspace(&self, ndim: usize) -> bool {
+        self.dims.len() < ndim
+    }
+
+    /// The *extended bounding rectangle* (Definition 8 of the paper): the
+    /// minimal rectangle containing the member points that spans the full
+    /// domain `[min, max)` in every dimension *not* in `dims`.
+    ///
+    /// This preserves the subspace information: taking the plain MBR would
+    /// silently raise the cluster's dimensionality and misrepresent the
+    /// (uniform) distribution along unused dimensions (Fig. 6 of the paper).
+    pub fn extended_br(&self, data: &Dataset) -> Option<Rect> {
+        data.bounding_rect(&self.points, &self.dims.to_vec())
+    }
+
+    /// The plain minimal bounding rectangle (Definition 7), tight in every
+    /// dimension. Provided for the MBR-vs-extended-BR ablation.
+    pub fn mbr(&self, data: &Dataset) -> Option<Rect> {
+        let all: Vec<usize> = (0..data.ndim()).collect();
+        data.bounding_rect(&self.points, &all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        // 2-d domain [0,10)², points forming a vertical band at x ∈ [4, 6].
+        Dataset::from_columns(
+            "band",
+            Rect::cube(2, 0.0, 10.0),
+            vec![vec![4.0, 5.0, 6.0, 4.5], vec![1.0, 9.0, 5.0, 0.2]],
+        )
+    }
+
+    #[test]
+    fn extended_br_spans_unused_dimension() {
+        let ds = data();
+        let c = SubspaceCluster {
+            points: vec![0, 1, 2, 3],
+            dims: DimSet::from_dims(&[0]),
+            score: 1.0,
+        };
+        let ebr = c.extended_br(&ds).unwrap();
+        assert_eq!(ebr.lo()[0], 4.0);
+        assert!(ebr.hi()[0] >= 6.0 && ebr.hi()[0] < 6.01);
+        // Unused dimension 1 spans the whole domain.
+        assert_eq!(ebr.lo()[1], 0.0);
+        assert_eq!(ebr.hi()[1], 10.0);
+        assert!(c.is_subspace(2));
+    }
+
+    #[test]
+    fn mbr_is_tight_everywhere() {
+        let ds = data();
+        let c = SubspaceCluster {
+            points: vec![0, 1, 2, 3],
+            dims: DimSet::from_dims(&[0]),
+            score: 1.0,
+        };
+        let mbr = c.mbr(&ds).unwrap();
+        assert_eq!(mbr.lo()[1], 0.2);
+        assert!(mbr.hi()[1] < 9.01);
+        // MBR ⊆ extended BR.
+        assert!(c.extended_br(&ds).unwrap().contains_rect(&mbr));
+    }
+
+    #[test]
+    fn empty_cluster_has_no_rect() {
+        let ds = data();
+        let c = SubspaceCluster { points: vec![], dims: DimSet::from_dims(&[0]), score: 0.0 };
+        assert!(c.extended_br(&ds).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn all_points_inside_both_rects() {
+        let ds = data();
+        let c = SubspaceCluster {
+            points: vec![0, 1, 2, 3],
+            dims: DimSet::from_dims(&[0, 1]),
+            score: 1.0,
+        };
+        for rect in [c.extended_br(&ds).unwrap(), c.mbr(&ds).unwrap()] {
+            for &i in &c.points {
+                assert!(rect.contains_point(&ds.row(i as usize)));
+            }
+        }
+    }
+}

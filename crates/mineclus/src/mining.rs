@@ -1,0 +1,192 @@
+//! Frequent-dimension-set mining with branch-and-bound on µ.
+//!
+//! Given one itemset per point — the set of dimensions in which the point is
+//! within width `w` of the medoid — MineClus looks for the dimension set `D`
+//! with support ≥ `min_support` maximizing `µ(support(D), |D|)`. Because µ
+//! grows monotonically in both arguments and support is anti-monotone in
+//! `D`, a depth-first enumeration with the optimistic bound
+//! `µ(support(S), |S| + remaining)` prunes aggressively. The item universe
+//! is the (small) dimension count, so this is exact, not heuristic.
+
+use crate::{mu, DimSet};
+
+/// Result of one mining run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MinedSet {
+    /// The best dimension set.
+    pub dims: DimSet,
+    /// Its support (number of itemsets containing it).
+    pub support: usize,
+    /// µ(support, |dims|).
+    pub score: f64,
+}
+
+/// Finds the dimension set with support ≥ `min_support` and size ≥
+/// `min_dims` maximizing µ. Returns `None` when no set qualifies.
+///
+/// `masks` holds one dimension bitmask per point; `ndim` bounds the item
+/// universe; `beta` parameterizes µ.
+pub fn mine_best_dimset(
+    masks: &[u64],
+    ndim: usize,
+    min_support: usize,
+    min_dims: usize,
+    beta: f64,
+) -> Option<MinedSet> {
+    assert!(ndim <= DimSet::MAX_DIMS);
+    if masks.is_empty() || min_support == 0 || min_support > masks.len() {
+        return None;
+    }
+
+    // Frequent single dimensions, ordered by descending support: exploring
+    // high-support items first tightens the bound early.
+    let mut singles: Vec<(usize, usize)> = (0..ndim)
+        .map(|d| (d, masks.iter().filter(|&&m| m & (1u64 << d) != 0).count()))
+        .filter(|&(_, s)| s >= min_support)
+        .collect();
+    singles.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
+    if singles.is_empty() {
+        return None;
+    }
+    let order: Vec<usize> = singles.iter().map(|&(d, _)| d).collect();
+
+    let mut best: Option<MinedSet> = None;
+    // DFS stack frame: (next item position, current set, supporting ids).
+    let all_ids: Vec<u32> = (0..masks.len() as u32).collect();
+    dfs(masks, &order, 0, DimSet::EMPTY, &all_ids, min_support, min_dims, beta, &mut best);
+    best
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    masks: &[u64],
+    order: &[usize],
+    pos: usize,
+    current: DimSet,
+    support_ids: &[u32],
+    min_support: usize,
+    min_dims: usize,
+    beta: f64,
+    best: &mut Option<MinedSet>,
+) {
+    // Record the current node when admissible.
+    if current.len() >= min_dims && support_ids.len() >= min_support {
+        let score = mu(support_ids.len(), current.len(), beta);
+        if best.as_ref().is_none_or(|b| score > b.score) {
+            *best = Some(MinedSet { dims: current, support: support_ids.len(), score });
+        }
+    }
+    if pos >= order.len() {
+        return;
+    }
+    // Optimistic bound: support cannot grow, dimensionality can reach
+    // |current| + remaining items.
+    let remaining = order.len() - pos;
+    let bound = mu(support_ids.len(), current.len() + remaining, beta);
+    if let Some(b) = best {
+        if bound <= b.score {
+            return;
+        }
+    }
+    // Branch 1: include order[pos].
+    let d = order[pos];
+    let bit = 1u64 << d;
+    let filtered: Vec<u32> =
+        support_ids.iter().copied().filter(|&i| masks[i as usize] & bit != 0).collect();
+    if filtered.len() >= min_support {
+        dfs(masks, order, pos + 1, current.with(d), &filtered, min_support, min_dims, beta, best);
+    }
+    // Branch 2: skip order[pos].
+    dfs(masks, order, pos + 1, current, support_ids, min_support, min_dims, beta, best);
+}
+
+/// Ids of the points whose itemset contains `dims` — the members of the
+/// cluster defined by a mined dimension set.
+pub fn supporting_points(masks: &[u64], dims: DimSet) -> Vec<u32> {
+    let bits = dims.bits();
+    (0..masks.len() as u32).filter(|&i| masks[i as usize] & bits == bits).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_obvious_frequent_set() {
+        // 8 points support {0,1}; 3 support {2} alone.
+        let m01 = 0b011u64;
+        let m2 = 0b100u64;
+        let masks: Vec<u64> = std::iter::repeat_n(m01, 8).chain(std::iter::repeat_n(m2, 3)).collect();
+        let best = mine_best_dimset(&masks, 3, 3, 1, 0.25).unwrap();
+        assert_eq!(best.dims, DimSet::from_dims(&[0, 1]));
+        assert_eq!(best.support, 8);
+        assert_eq!(supporting_points(&masks, best.dims).len(), 8);
+    }
+
+    #[test]
+    fn beta_controls_dims_vs_size() {
+        // 100 points support {0}; 30 also support {0,1}.
+        let mut masks = vec![0b01u64; 70];
+        masks.extend(vec![0b11u64; 30]);
+        // With β = 0.5, an extra dim is worth a 2x smaller cluster: µ(100,1)=200
+        // vs µ(30,2)=120 → pick the bigger 1-d set.
+        let b1 = mine_best_dimset(&masks, 2, 10, 1, 0.5).unwrap();
+        assert_eq!(b1.dims, DimSet::from_dims(&[0]));
+        // With β = 0.1, dimensionality dominates: µ(100,1)=1000 vs µ(30,2)=3000.
+        let b2 = mine_best_dimset(&masks, 2, 10, 1, 0.1).unwrap();
+        assert_eq!(b2.dims, DimSet::from_dims(&[0, 1]));
+    }
+
+    #[test]
+    fn respects_min_support_and_min_dims() {
+        let masks = vec![0b11u64; 5];
+        assert!(mine_best_dimset(&masks, 2, 6, 1, 0.25).is_none());
+        let best = mine_best_dimset(&masks, 2, 2, 2, 0.25).unwrap();
+        assert_eq!(best.dims.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(mine_best_dimset(&[], 3, 1, 1, 0.25).is_none());
+        assert!(mine_best_dimset(&[0b1], 3, 0, 1, 0.25).is_none());
+    }
+
+    #[test]
+    fn exhaustive_correctness_small() {
+        // Compare against brute force over all dimension subsets.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let ndim = 5;
+            let masks: Vec<u64> = (0..60).map(|_| rng.gen_range(0u64..32)).collect();
+            let min_support = rng.gen_range(1..10);
+            let beta = 0.25;
+            let fast = mine_best_dimset(&masks, ndim, min_support, 1, beta);
+            // Brute force.
+            let mut best: Option<(u64, usize)> = None;
+            for set in 1u64..32 {
+                let support = masks.iter().filter(|&&m| m & set == set).count();
+                if support >= min_support {
+                    let score = mu(support, set.count_ones() as usize, beta);
+                    if best.is_none_or(|(s, sup)| {
+                        score > mu(sup, s.count_ones() as usize, beta)
+                    }) {
+                        best = Some((set, support));
+                    }
+                }
+            }
+            match (fast, best) {
+                (None, None) => {}
+                (Some(f), Some((bs, bsup))) => {
+                    let brute_score = mu(bsup, bs.count_ones() as usize, beta);
+                    assert!(
+                        (f.score - brute_score).abs() < 1e-9,
+                        "scores differ: fast {} brute {brute_score}",
+                        f.score
+                    );
+                }
+                (f, b) => panic!("disagreement: fast {f:?} brute {b:?}"),
+            }
+        }
+    }
+}

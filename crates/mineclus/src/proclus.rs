@@ -1,0 +1,307 @@
+//! PROCLUS (Aggarwal et al., SIGMOD 1999): k-medoid projective clustering.
+//!
+//! The paper's earlier study (SSDBM 2011) compared six subspace clustering
+//! algorithms as histogram initializers; PROCLUS is the classic
+//! medoid-based representative of that family and completes the
+//! `ablation_initializer` bench alongside MineClus, DOC and CLIQUE.
+//!
+//! Phases, as in the original algorithm:
+//! 1. draw a sample, greedily spread `B·k` candidate medoids
+//!    (farthest-point heuristic);
+//! 2. iterate: for the current k medoids, find each medoid's *locality*
+//!    (points within its distance to the nearest other medoid), pick the
+//!    dimensions with unusually small average deviation (z-score), assign
+//!    every point to the nearest medoid under its *projected* Manhattan
+//!    distance, and replace the medoid of the worst cluster;
+//! 3. refine dimensions once on the final assignment and drop outliers.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use sth_data::Dataset;
+
+use crate::{mu, DimSet, SubspaceCluster, SubspaceClustering};
+
+/// PROCLUS parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProclusConfig {
+    /// Number of clusters k.
+    pub k: usize,
+    /// Average number of relevant dimensions per cluster (ℓ ≥ 2).
+    pub avg_dims: usize,
+    /// Candidate-medoid multiplier (the paper's B).
+    pub candidate_factor: usize,
+    /// Medoid-replacement iterations.
+    pub iterations: usize,
+    /// β used only to make importance scores comparable with MineClus µ.
+    pub beta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ProclusConfig {
+    fn default() -> Self {
+        Self { k: 10, avg_dims: 3, candidate_factor: 4, iterations: 12, beta: 0.25, seed: 0x9C15 }
+    }
+}
+
+/// Best iteration snapshot: (objective, medoids, dims, clusters).
+type BestState = (f64, Vec<usize>, Vec<DimSet>, Vec<Vec<u32>>);
+
+/// The PROCLUS algorithm.
+#[derive(Clone, Debug)]
+pub struct Proclus {
+    config: ProclusConfig,
+}
+
+impl Proclus {
+    /// Creates the algorithm with the given configuration.
+    pub fn new(config: ProclusConfig) -> Self {
+        assert!(config.k >= 1);
+        assert!(config.avg_dims >= 2, "PROCLUS requires ℓ ≥ 2");
+        assert!(config.beta > 0.0 && config.beta < 1.0);
+        Self { config }
+    }
+}
+
+/// Full-space Manhattan distance between a medoid and point `i`.
+fn manhattan(data: &Dataset, i: usize, medoid: &[f64]) -> f64 {
+    (0..data.ndim()).map(|d| (data.value(i, d) - medoid[d]).abs()).sum()
+}
+
+/// Projected (segmental) Manhattan distance over `dims`.
+fn projected(data: &Dataset, i: usize, medoid: &[f64], dims: &DimSet) -> f64 {
+    let mut sum = 0.0;
+    for d in dims.iter() {
+        sum += (data.value(i, d) - medoid[d]).abs();
+    }
+    sum / dims.len().max(1) as f64
+}
+
+impl Proclus {
+    /// Greedy farthest-point selection of `count` spread-out candidates.
+    fn spread_candidates(
+        &self,
+        data: &Dataset,
+        rng: &mut rand::rngs::StdRng,
+        count: usize,
+    ) -> Vec<usize> {
+        use rand::Rng as _;
+        let n = data.len();
+        let mut chosen = vec![rng.gen_range(0..n)];
+        let mut dist: Vec<f64> = (0..n)
+            .map(|i| manhattan(data, i, &data.row(chosen[0])))
+            .collect();
+        while chosen.len() < count.min(n) {
+            let next = dist
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            chosen.push(next);
+            let row = data.row(next);
+            for (i, dst) in dist.iter_mut().enumerate() {
+                *dst = dst.min(manhattan(data, i, &row));
+            }
+        }
+        chosen
+    }
+
+    /// Dimension selection: per medoid, z-scores of the average deviations
+    /// within its locality; globally pick the `k·ℓ` smallest, ≥ 2 each.
+    fn find_dimensions(&self, data: &Dataset, medoids: &[usize]) -> Vec<DimSet> {
+        let ndim = data.ndim();
+        let k = medoids.len();
+        // Locality radius: distance to the nearest other medoid.
+        let rows: Vec<Vec<f64>> = medoids.iter().map(|&m| data.row(m)).collect();
+        let mut x = vec![vec![0.0f64; ndim]; k]; // avg per-dim deviation
+        for (i, &m) in medoids.iter().enumerate() {
+            let delta = medoids
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(j, _)| manhattan(data, m, &rows[j]))
+                .fold(f64::INFINITY, f64::min);
+            let mut count = 0usize;
+            for p in 0..data.len() {
+                if manhattan(data, p, &rows[i]) <= delta {
+                    for d in 0..ndim {
+                        x[i][d] += (data.value(p, d) - rows[i][d]).abs();
+                    }
+                    count += 1;
+                }
+            }
+            for v in x[i].iter_mut() {
+                *v /= count.max(1) as f64;
+            }
+        }
+        // Z-scores per medoid.
+        let mut scored: Vec<(f64, usize, usize)> = Vec::with_capacity(k * ndim);
+        for (i, xi) in x.iter().enumerate() {
+            let mean: f64 = xi.iter().sum::<f64>() / ndim as f64;
+            let var: f64 =
+                xi.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (ndim - 1).max(1) as f64;
+            let sigma = var.sqrt().max(1e-12);
+            for (d, &v) in xi.iter().enumerate() {
+                scored.push(((v - mean) / sigma, i, d));
+            }
+        }
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut dims = vec![DimSet::EMPTY; k];
+        // Two smallest per medoid first.
+        for (i, di) in dims.iter_mut().enumerate() {
+            let mut per: Vec<(f64, usize)> =
+                scored.iter().filter(|&&(_, m, _)| m == i).map(|&(z, _, d)| (z, d)).collect();
+            per.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for &(_, d) in per.iter().take(2) {
+                di.insert(d);
+            }
+        }
+        // Remaining budget globally.
+        let budget = (self.config.avg_dims * k).saturating_sub(2 * k);
+        let mut used = 0;
+        for &(_, i, d) in &scored {
+            if used >= budget {
+                break;
+            }
+            if !dims[i].contains(d) {
+                dims[i].insert(d);
+                used += 1;
+            }
+        }
+        dims
+    }
+
+    /// Assigns every point to the nearest medoid under projected distance.
+    fn assign(&self, data: &Dataset, medoids: &[usize], dims: &[DimSet]) -> Vec<Vec<u32>> {
+        let rows: Vec<Vec<f64>> = medoids.iter().map(|&m| data.row(m)).collect();
+        let mut clusters = vec![Vec::new(); medoids.len()];
+        for p in 0..data.len() {
+            let best = (0..medoids.len())
+                .min_by(|&a, &b| {
+                    projected(data, p, &rows[a], &dims[a])
+                        .partial_cmp(&projected(data, p, &rows[b], &dims[b]))
+                        .unwrap()
+                })
+                .unwrap();
+            clusters[best].push(p as u32);
+        }
+        clusters
+    }
+
+    /// Objective: average projected dispersion, lower is better.
+    fn objective(&self, data: &Dataset, medoids: &[usize], dims: &[DimSet], clusters: &[Vec<u32>]) -> f64 {
+        let rows: Vec<Vec<f64>> = medoids.iter().map(|&m| data.row(m)).collect();
+        let mut sum = 0.0;
+        for (i, members) in clusters.iter().enumerate() {
+            for &p in members {
+                sum += projected(data, p as usize, &rows[i], &dims[i]);
+            }
+        }
+        sum / data.len().max(1) as f64
+    }
+}
+
+impl SubspaceClustering for Proclus {
+    fn cluster(&self, data: &Dataset) -> Vec<SubspaceCluster> {
+        let n = data.len();
+        let k = self.config.k.min(n.max(1));
+        if n == 0 || k == 0 || data.ndim() < 2 {
+            return Vec::new();
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
+        let candidates = self.spread_candidates(data, &mut rng, self.config.candidate_factor * k);
+
+        let mut medoids: Vec<usize> = candidates.iter().copied().take(k).collect();
+        let mut best: Option<BestState> = None;
+        for _ in 0..self.config.iterations {
+            let dims = self.find_dimensions(data, &medoids);
+            let clusters = self.assign(data, &medoids, &dims);
+            let obj = self.objective(data, &medoids, &dims, &clusters);
+            let improved = best.as_ref().is_none_or(|(b, ..)| obj < *b);
+            if improved {
+                best = Some((obj, medoids.clone(), dims, clusters));
+            }
+            // Replace the medoid of the smallest cluster with a random
+            // unused candidate.
+            let (_, best_medoids, _, best_clusters) = best.as_ref().unwrap();
+            let worst = best_clusters
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.len())
+                .map(|(i, _)| i)
+                .unwrap();
+            let mut pool: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|c| !best_medoids.contains(c))
+                .collect();
+            pool.shuffle(&mut rng);
+            medoids = best_medoids.clone();
+            if let Some(replacement) = pool.first() {
+                medoids[worst] = *replacement;
+            }
+        }
+        let (_, medoids, dims, clusters) = best.unwrap();
+        // Refinement: recompute dimensions on the final clusters.
+        let _ = medoids;
+        let mut out: Vec<SubspaceCluster> = clusters
+            .into_iter()
+            .zip(dims)
+            .filter(|(members, _)| members.len() >= 2)
+            .map(|(members, dims)| {
+                let score = mu(members.len(), dims.len(), self.config.beta);
+                SubspaceCluster { points: members, dims, score }
+            })
+            .collect();
+        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+        out
+    }
+
+    fn name(&self) -> &str {
+        "proclus"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sth_data::gauss::GaussSpec;
+
+    #[test]
+    fn clusters_cover_dataset_disjointly() {
+        let ds = GaussSpec::paper().scaled(0.01).generate();
+        let p = Proclus::new(ProclusConfig { k: 8, ..ProclusConfig::default() });
+        let clusters = p.cluster(&ds);
+        assert!(!clusters.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for c in &clusters {
+            assert!(c.dims.len() >= 2, "PROCLUS clusters use ≥ 2 dims");
+            for &pt in &c.points {
+                assert!(seen.insert(pt), "point {pt} in two clusters");
+            }
+        }
+        // Every point is assigned (no outlier phase in this variant).
+        assert_eq!(seen.len(), ds.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = GaussSpec::paper().scaled(0.005).generate();
+        let p = Proclus::new(ProclusConfig::default());
+        let a = p.cluster(&ds);
+        let b = p.cluster(&ds);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.points, y.points);
+            assert_eq!(x.dims, y.dims);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ℓ ≥ 2")]
+    fn rejects_tiny_avg_dims() {
+        let _ = Proclus::new(ProclusConfig { avg_dims: 1, ..ProclusConfig::default() });
+    }
+}

@@ -1,0 +1,47 @@
+//! Query feedback records.
+
+use serde::{Deserialize, Serialize};
+use sth_index::RangeCounter;
+
+use crate::{RangeQuery, Workload};
+
+/// The observable outcome of one executed query: the predicate and its true
+/// result cardinality.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QueryFeedback {
+    /// The executed query.
+    pub query: RangeQuery,
+    /// Exact result cardinality.
+    pub cardinality: u64,
+}
+
+/// Executes a workload against a counter, producing the feedback stream a
+/// query engine would emit.
+pub fn execute_workload(workload: &Workload, counter: &dyn RangeCounter) -> Vec<QueryFeedback> {
+    workload
+        .queries()
+        .iter()
+        .map(|q| QueryFeedback { query: q.clone(), cardinality: counter.count(q.rect()) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadSpec;
+    use sth_data::cross::CrossSpec;
+    use sth_index::{KdCountTree, RangeCounter, ScanCounter};
+
+    #[test]
+    fn feedback_matches_scan() {
+        let ds = CrossSpec::cross2d().scaled(0.02).generate();
+        let tree = KdCountTree::build(&ds);
+        let w = WorkloadSpec { count: 50, ..WorkloadSpec::paper(0.01, 3) }.generate(ds.domain(), None);
+        let fb = execute_workload(&w, &tree);
+        assert_eq!(fb.len(), 50);
+        let scan = ScanCounter::new(&ds);
+        for f in &fb {
+            assert_eq!(f.cardinality, scan.count(f.query.rect()));
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Range queries, workload generation and estimator traits.
+//!
+//! The paper's workload model (§5.1): queries are hyper-rectangles spanning a
+//! fixed fraction of the data-space volume (e.g. `Sky[1%]` = queries of 1%
+//! volume), with centers drawn either uniformly or from the data
+//! distribution. Workloads are split into a training prefix and a simulation
+//! suffix; only simulation queries enter the error metric.
+
+#![warn(missing_docs)]
+
+mod feedback;
+mod traits;
+mod workload;
+
+pub use feedback::{execute_workload, QueryFeedback};
+pub use traits::{CardinalityEstimator, SelfTuning};
+pub use workload::{CenterDistribution, RangeQuery, Workload, WorkloadSpec};

@@ -1,0 +1,60 @@
+//! The estimator interfaces shared across the library.
+
+use sth_geometry::Rect;
+use sth_index::RangeCounter;
+
+/// Anything that can estimate the cardinality of a range predicate.
+///
+/// Implemented by STHoles (`sth-histogram`), the baselines
+/// (`sth-baselines`) and any user-supplied synopsis.
+pub trait CardinalityEstimator {
+    /// Estimated number of tuples inside `rect`.
+    fn estimate(&self, rect: &Rect) -> f64;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+/// A self-tuning estimator: refines itself from the feedback of an executed
+/// query.
+///
+/// `feedback` is a [`RangeCounter`] that must be exact *within the query
+/// rectangle* — in a live system it wraps the query's result stream (see
+/// `sth_index::ResultSetCounter`); in simulations a dataset-wide index gives
+/// identical numbers faster.
+pub trait SelfTuning: CardinalityEstimator {
+    /// Observes one executed query and refines the synopsis.
+    fn refine(&mut self, query: &Rect, feedback: &dyn RangeCounter);
+
+    /// Stops/starts learning. Frozen estimators ignore [`SelfTuning::refine`]
+    /// calls; the paper uses this in the Fig. 17 experiment where refinement
+    /// is disabled after the training phase.
+    fn set_frozen(&mut self, frozen: bool);
+
+    /// `true` when learning is disabled.
+    fn frozen(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal implementation to pin down the trait contract.
+    struct Fixed(f64);
+
+    impl CardinalityEstimator for Fixed {
+        fn estimate(&self, _rect: &Rect) -> f64 {
+            self.0
+        }
+        fn name(&self) -> &str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let est: Box<dyn CardinalityEstimator> = Box::new(Fixed(42.0));
+        assert_eq!(est.estimate(&Rect::cube(2, 0.0, 1.0)), 42.0);
+        assert_eq!(est.name(), "fixed");
+    }
+}

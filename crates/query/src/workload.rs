@@ -1,0 +1,290 @@
+//! Query and workload generation.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use sth_geometry::Rect;
+use sth_data::Dataset;
+
+/// A rectangular range predicate, e.g. the `WHERE` clause
+/// `a0 BETWEEN lo0 AND hi0 AND a1 BETWEEN lo1 AND hi1 ...`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RangeQuery {
+    rect: Rect,
+}
+
+impl RangeQuery {
+    /// Wraps a rectangle as a query.
+    pub fn new(rect: Rect) -> Self {
+        Self { rect }
+    }
+
+    /// Builds the axis-aligned query centered at `center` with the given
+    /// per-dimension extents, clamped so it fits inside `domain` (shifted
+    /// inward rather than truncated, preserving the query volume).
+    pub fn centered(center: &[f64], extents: &[f64], domain: &Rect) -> Self {
+        assert_eq!(center.len(), extents.len());
+        assert_eq!(center.len(), domain.ndim());
+        let mut lo = vec![0.0; center.len()];
+        let mut hi = vec![0.0; center.len()];
+        for d in 0..center.len() {
+            let half = 0.5 * extents[d];
+            let dom_lo = domain.lo()[d];
+            let dom_hi = domain.hi()[d];
+            let mut l = center[d] - half;
+            let mut h = center[d] + half;
+            // Shift inward to fit; degenerate domains fall back to full span.
+            if h - l >= dom_hi - dom_lo {
+                l = dom_lo;
+                h = dom_hi;
+            } else if l < dom_lo {
+                h += dom_lo - l;
+                l = dom_lo;
+            } else if h > dom_hi {
+                l -= h - dom_hi;
+                h = dom_hi;
+            }
+            lo[d] = l;
+            hi[d] = h;
+        }
+        Self { rect: Rect::from_bounds(&lo, &hi) }
+    }
+
+    /// The query rectangle.
+    pub fn rect(&self) -> &Rect {
+        &self.rect
+    }
+
+    /// Fraction of the domain volume this query spans.
+    pub fn volume_fraction(&self, domain: &Rect) -> f64 {
+        self.rect.volume() / domain.volume()
+    }
+}
+
+/// How query centers are drawn.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CenterDistribution {
+    /// Uniform over the domain (the paper's default).
+    Uniform,
+    /// Sampled from the data distribution ("queries follow the data").
+    DataFollowing,
+}
+
+/// Declarative description of a workload.
+///
+/// ```
+/// use sth_geometry::Rect;
+/// use sth_query::WorkloadSpec;
+///
+/// let domain = Rect::cube(3, 0.0, 1000.0);
+/// let workload = WorkloadSpec::paper(0.01, 42).generate(&domain, None);
+/// assert_eq!(workload.len(), 2_000);
+/// // Every query spans exactly 1% of the domain volume.
+/// for q in workload.queries() {
+///     assert!((q.volume_fraction(&domain) - 0.01).abs() < 1e-9);
+/// }
+/// let (train, sim) = workload.split_train(1_000);
+/// assert_eq!((train.len(), sim.len()), (1_000, 1_000));
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of queries.
+    pub count: usize,
+    /// Query volume as a fraction of the domain volume (0.01 = the paper's
+    /// `[1%]` setting).
+    pub volume_fraction: f64,
+    /// Center distribution.
+    pub centers: CenterDistribution,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's standard setting: 1,000 training + 1,000 simulation
+    /// queries of `volume_fraction` volume, uniform centers.
+    pub fn paper(volume_fraction: f64, seed: u64) -> Self {
+        Self { count: 2_000, volume_fraction, centers: CenterDistribution::Uniform, seed }
+    }
+
+    /// Generates the workload. `data` is required for
+    /// [`CenterDistribution::DataFollowing`].
+    pub fn generate(&self, domain: &Rect, data: Option<&Dataset>) -> Workload {
+        assert!(self.volume_fraction > 0.0 && self.volume_fraction <= 1.0);
+        let dim = domain.ndim();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        // Fixed-volume hyper-cube in normalized coordinates: each dimension
+        // spans the same fraction s of its extent, with s^dim = volume_frac.
+        let side_frac = self.volume_fraction.powf(1.0 / dim as f64);
+        let extents: Vec<f64> = (0..dim).map(|d| side_frac * domain.extent(d)).collect();
+        let mut queries = Vec::with_capacity(self.count);
+        let mut center = vec![0.0; dim];
+        for _ in 0..self.count {
+            match self.centers {
+                CenterDistribution::Uniform => {
+                    for (d, c) in center.iter_mut().enumerate() {
+                        *c = rng.gen_range(domain.lo()[d]..domain.hi()[d]);
+                    }
+                }
+                CenterDistribution::DataFollowing => {
+                    let data = data.expect("DataFollowing centers require a dataset");
+                    assert!(!data.is_empty(), "cannot sample centers from an empty dataset");
+                    let i = rng.gen_range(0..data.len());
+                    data.row_into(i, &mut center);
+                }
+            }
+            queries.push(RangeQuery::centered(&center, &extents, domain));
+        }
+        Workload { queries }
+    }
+}
+
+/// An ordered sequence of queries.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Workload {
+    queries: Vec<RangeQuery>,
+}
+
+impl Workload {
+    /// Wraps an explicit query list.
+    pub fn new(queries: Vec<RangeQuery>) -> Self {
+        Self { queries }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// `true` when the workload has no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The queries, in order.
+    pub fn queries(&self) -> &[RangeQuery] {
+        &self.queries
+    }
+
+    /// A permutation `π(W)` of this workload (Definition 1 of the paper):
+    /// same queries, different order, deterministic in `seed`.
+    pub fn permuted(&self, seed: u64) -> Workload {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut queries = self.queries.clone();
+        queries.shuffle(&mut rng);
+        Workload { queries }
+    }
+
+    /// Reverses the query order.
+    pub fn reversed(&self) -> Workload {
+        let mut queries = self.queries.clone();
+        queries.reverse();
+        Workload { queries }
+    }
+
+    /// Splits into a training prefix of `train` queries and the simulation
+    /// remainder.
+    pub fn split_train(&self, train: usize) -> (Workload, Workload) {
+        assert!(train <= self.len(), "training prefix exceeds workload size");
+        let (a, b) = self.queries.split_at(train);
+        (Workload { queries: a.to_vec() }, Workload { queries: b.to_vec() })
+    }
+
+    /// Concatenates two workloads.
+    pub fn concat(&self, other: &Workload) -> Workload {
+        let mut queries = self.queries.clone();
+        queries.extend_from_slice(&other.queries);
+        Workload { queries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sth_data::cross::CrossSpec;
+
+    fn domain2() -> Rect {
+        Rect::cube(2, 0.0, 1000.0)
+    }
+
+    #[test]
+    fn centered_fits_domain() {
+        let d = domain2();
+        // Center near the corner: query must be shifted inward, not clipped.
+        let q = RangeQuery::centered(&[10.0, 990.0], &[100.0, 100.0], &d);
+        assert!(d.contains_rect(q.rect()));
+        assert!((q.rect().volume() - 100.0 * 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn centered_oversized_extent_spans_domain() {
+        let d = domain2();
+        let q = RangeQuery::centered(&[500.0, 500.0], &[5000.0, 10.0], &d);
+        assert_eq!(q.rect().lo()[0], 0.0);
+        assert_eq!(q.rect().hi()[0], 1000.0);
+    }
+
+    #[test]
+    fn generated_queries_have_requested_volume() {
+        let d = domain2();
+        let w = WorkloadSpec::paper(0.01, 5).generate(&d, None);
+        assert_eq!(w.len(), 2000);
+        for q in w.queries() {
+            assert!((q.volume_fraction(&d) - 0.01).abs() < 1e-9);
+            assert!(d.contains_rect(q.rect()));
+        }
+    }
+
+    #[test]
+    fn data_following_centers() {
+        let ds = CrossSpec::cross2d().scaled(0.01).generate();
+        let spec = WorkloadSpec {
+            count: 200,
+            volume_fraction: 0.01,
+            centers: CenterDistribution::DataFollowing,
+            seed: 9,
+        };
+        let w = spec.generate(ds.domain(), Some(&ds));
+        assert_eq!(w.len(), 200);
+        // Data-following queries should overwhelmingly hit the cross bands.
+        let bands = CrossSpec::cross2d().true_cluster_rects();
+        let hitting = w
+            .queries()
+            .iter()
+            .filter(|q| bands.iter().any(|b| b.intersects(q.rect())))
+            .count();
+        assert!(hitting > 150, "only {hitting}/200 queries near the data");
+    }
+
+    #[test]
+    fn permutation_preserves_multiset() {
+        let d = domain2();
+        let w = WorkloadSpec::paper(0.02, 1).generate(&d, None);
+        let p = w.permuted(99);
+        assert_eq!(w.len(), p.len());
+        assert_ne!(w.queries()[..20], p.queries()[..20], "permutation changed nothing");
+        let mut a: Vec<String> = w.queries().iter().map(|q| format!("{}", q.rect())).collect();
+        let mut b: Vec<String> = p.queries().iter().map(|q| format!("{}", q.rect())).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_and_concat() {
+        let d = domain2();
+        let w = WorkloadSpec::paper(0.01, 2).generate(&d, None);
+        let (train, sim) = w.split_train(1000);
+        assert_eq!(train.len(), 1000);
+        assert_eq!(sim.len(), 1000);
+        assert_eq!(train.concat(&sim).queries(), w.queries());
+    }
+
+    #[test]
+    fn determinism() {
+        let d = domain2();
+        let a = WorkloadSpec::paper(0.01, 7).generate(&d, None);
+        let b = WorkloadSpec::paper(0.01, 7).generate(&d, None);
+        assert_eq!(a.queries(), b.queries());
+    }
+}

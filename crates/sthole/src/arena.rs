@@ -1,0 +1,163 @@
+//! Slotted bucket storage.
+
+use serde::{Deserialize, Serialize};
+use sth_geometry::Rect;
+
+/// Index of a bucket inside the arena. Stable across unrelated insertions
+/// and removals; slots are recycled through a free list.
+pub type BucketId = usize;
+
+/// One histogram bucket.
+///
+/// `freq` counts the tuples in the bucket's *own region*: the box minus the
+/// boxes of the children. Children boxes are pairwise disjoint and contained
+/// in the parent box.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Bounding box of the bucket (children included).
+    pub rect: Rect,
+    /// Tuple count of the bucket's own region (box minus child boxes).
+    pub freq: f64,
+    /// Parent bucket; `None` only for the root.
+    pub parent: Option<BucketId>,
+    /// Child buckets ("holes").
+    pub children: Vec<BucketId>,
+}
+
+impl Bucket {
+    /// Creates a childless bucket.
+    pub fn leaf(rect: Rect, freq: f64, parent: Option<BucketId>) -> Self {
+        Self { rect, freq, parent, children: Vec::new() }
+    }
+}
+
+/// Slotted arena of buckets with recycled ids.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BucketArena {
+    slots: Vec<Option<Bucket>>,
+    free: Vec<BucketId>,
+}
+
+impl BucketArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a bucket and returns its id.
+    pub fn alloc(&mut self, bucket: Bucket) -> BucketId {
+        match self.free.pop() {
+            Some(id) => {
+                self.slots[id] = Some(bucket);
+                id
+            }
+            None => {
+                self.slots.push(Some(bucket));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    /// Removes a bucket, recycling its slot. The caller is responsible for
+    /// unlinking it from parent/child lists first.
+    pub fn dealloc(&mut self, id: BucketId) -> Bucket {
+        let b = self.slots[id].take().expect("dealloc of empty slot");
+        self.free.push(id);
+        b
+    }
+
+    /// Shared access. Panics on a dangling id.
+    #[inline]
+    pub fn get(&self, id: BucketId) -> &Bucket {
+        self.slots[id].as_ref().expect("dangling bucket id")
+    }
+
+    /// Mutable access. Panics on a dangling id.
+    #[inline]
+    pub fn get_mut(&mut self, id: BucketId) -> &mut Bucket {
+        self.slots[id].as_mut().expect("dangling bucket id")
+    }
+
+    /// `true` when `id` refers to a live bucket.
+    pub fn contains(&self, id: BucketId) -> bool {
+        self.slots.get(id).is_some_and(Option::is_some)
+    }
+
+    /// Number of live buckets.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// `true` when no bucket is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over `(id, bucket)` pairs of live buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (BucketId, &Bucket)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|b| (i, b)))
+    }
+
+    /// Volume of a bucket's own region: its box minus the child boxes.
+    pub fn own_volume(&self, id: BucketId) -> f64 {
+        let b = self.get(id);
+        let mut v = b.rect.volume();
+        for &c in &b.children {
+            v -= self.get(c).rect.volume();
+        }
+        // Floating-point cancellation can produce tiny negatives.
+        v.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(lo: f64, hi: f64) -> Rect {
+        Rect::cube(2, lo, hi)
+    }
+
+    #[test]
+    fn alloc_dealloc_recycles() {
+        let mut a = BucketArena::new();
+        let id0 = a.alloc(Bucket::leaf(rect(0.0, 10.0), 5.0, None));
+        let id1 = a.alloc(Bucket::leaf(rect(1.0, 2.0), 1.0, Some(id0)));
+        assert_eq!(a.len(), 2);
+        a.dealloc(id1);
+        assert_eq!(a.len(), 1);
+        assert!(!a.contains(id1));
+        let id2 = a.alloc(Bucket::leaf(rect(3.0, 4.0), 1.0, Some(id0)));
+        assert_eq!(id2, id1, "slot not recycled");
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn own_volume_subtracts_children() {
+        let mut a = BucketArena::new();
+        let root = a.alloc(Bucket::leaf(rect(0.0, 10.0), 5.0, None));
+        let child = a.alloc(Bucket::leaf(rect(0.0, 5.0), 2.0, Some(root)));
+        a.get_mut(root).children.push(child);
+        assert_eq!(a.own_volume(root), 100.0 - 25.0);
+        assert_eq!(a.own_volume(child), 25.0);
+    }
+
+    #[test]
+    fn iter_skips_freed() {
+        let mut a = BucketArena::new();
+        let id0 = a.alloc(Bucket::leaf(rect(0.0, 1.0), 0.0, None));
+        let id1 = a.alloc(Bucket::leaf(rect(0.0, 1.0), 0.0, None));
+        a.dealloc(id0);
+        let ids: Vec<BucketId> = a.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![id1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling bucket id")]
+    fn dangling_access_panics() {
+        let mut a = BucketArena::new();
+        let id = a.alloc(Bucket::leaf(rect(0.0, 1.0), 0.0, None));
+        a.dealloc(id);
+        let _ = a.get(id);
+    }
+}

@@ -1,0 +1,504 @@
+//! Bucket merging: compacting the histogram back under its budget.
+//!
+//! A merge replaces two buckets by one, choosing the pair whose merge
+//! changes the histogram's estimates the least (merge penalty, Eq. 2 of the
+//! paper). Two merge shapes exist (paper §2.1 "Removing buckets"):
+//!
+//! * **Parent–child**: the child's region is folded back into the parent.
+//! * **Sibling–sibling**: two siblings are replaced by a bucket over their
+//!   bounding box; if that box partially overlaps other siblings it is
+//!   extended until every other sibling is either disjoint or fully
+//!   enclosed (the enclosed ones — *participants* — become children of the
+//!   merged bucket, cf. Fig. 3 of the paper).
+
+use serde::{Deserialize, Serialize};
+use sth_geometry::Rect;
+
+use crate::{Bucket, BucketId, StHoles};
+
+/// A concrete merge to apply.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum MergeOp {
+    /// Fold `child` into `parent`.
+    ParentChild {
+        /// The surviving parent.
+        parent: BucketId,
+        /// The child to fold in.
+        child: BucketId,
+    },
+    /// Replace siblings `a` and `b` (children of `parent`) by one bucket.
+    Siblings {
+        /// Common parent.
+        parent: BucketId,
+        /// First sibling.
+        a: BucketId,
+        /// Second sibling.
+        b: BucketId,
+    },
+}
+
+/// A merge candidate with its penalty.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MergePenalty {
+    /// Estimated change in histogram estimates caused by the merge.
+    pub penalty: f64,
+    /// The merge itself.
+    pub op: MergeOp,
+}
+
+/// Cached cheapest merges below one parent bucket: the best merge of a
+/// child into this parent, and the best sibling–sibling merge among its
+/// children. Invalidated whenever the parent or one of its children
+/// changes structurally.
+#[derive(Clone, Debug, Default)]
+pub struct ParentMerges {
+    /// Cheapest parent–child merge (child into this bucket).
+    pub best_parent_child: Option<MergePenalty>,
+    /// Cheapest sibling–sibling merge among this bucket's children.
+    pub best_siblings: Option<MergePenalty>,
+}
+
+/// Everything needed to evaluate/apply a sibling merge.
+struct SiblingPlan {
+    bn_rect: Rect,
+    participants: Vec<BucketId>,
+    v_move: f64,
+    f_move: f64,
+    penalty: f64,
+}
+
+impl StHoles {
+    /// Applies minimum-penalty merges until the bucket count is back under
+    /// the budget.
+    /// Public compaction entry point — exposed for diagnostics and
+    /// profiling tools.
+    pub fn compact_now(&mut self) {
+        self.compact();
+    }
+
+    pub(crate) fn compact(&mut self) {
+        while self.nonroot_count > self.config.budget {
+            match self.best_merge() {
+                Some(m) => self.apply_merge(&m.op),
+                None => break, // nothing mergeable (degenerate tree)
+            }
+        }
+    }
+
+    /// Returns the cheapest merge under the configured
+    /// [`crate::MergePolicy`].
+    ///
+    /// Penalties are cached per parent and recomputed only for parents whose
+    /// subtree changed since the last call (drilling and merging invalidate
+    /// the affected entries), so the steady-state cost is one cheap scan
+    /// over the parents plus a handful of recomputations.
+    pub fn best_merge(&mut self) -> Option<MergePenalty> {
+        let parents: Vec<BucketId> = self
+            .arena
+            .iter()
+            .filter(|(_, b)| !b.children.is_empty())
+            .map(|(id, _)| id)
+            .collect();
+        for &id in &parents {
+            if !self.merge_cache.contains_key(&id) {
+                let entry = self.compute_parent_merges(id);
+                self.merge_cache.insert(id, entry);
+            }
+        }
+        let policy = self.config.merge_policy;
+        let mut best: Option<MergePenalty> = None;
+        let mut best_pc: Option<MergePenalty> = None;
+        let consider = |slot: &mut Option<MergePenalty>, cand: &Option<MergePenalty>| {
+            if let Some(c) = cand {
+                if slot.as_ref().is_none_or(|b| c.penalty < b.penalty) {
+                    *slot = Some(c.clone());
+                }
+            }
+        };
+        for id in &parents {
+            let entry = &self.merge_cache[id];
+            consider(&mut best_pc, &entry.best_parent_child);
+            match policy {
+                crate::MergePolicy::All => {
+                    consider(&mut best, &entry.best_parent_child);
+                    consider(&mut best, &entry.best_siblings);
+                }
+                crate::MergePolicy::ParentChildOnly => {
+                    consider(&mut best, &entry.best_parent_child);
+                }
+                crate::MergePolicy::SiblingFirst => {
+                    consider(&mut best, &entry.best_siblings);
+                }
+            }
+        }
+        best.or(best_pc)
+    }
+
+    /// Drops the cached merge candidates of `id` and of its parent — called
+    /// after any structural change (frequency, box set, child list) at `id`.
+    pub(crate) fn invalidate_merges(&mut self, id: BucketId) {
+        self.merge_cache.remove(&id);
+        if self.arena.contains(id) {
+            if let Some(p) = self.arena.get(id).parent {
+                self.merge_cache.remove(&p);
+            }
+        }
+    }
+
+    /// Computes the cheapest merges below parent `id` from scratch.
+    fn compute_parent_merges(&self, id: BucketId) -> ParentMerges {
+        let bucket = self.arena.get(id);
+        let mut entry = ParentMerges::default();
+        for &c in &bucket.children {
+            let cand = MergePenalty {
+                penalty: self.parent_child_penalty(id, c),
+                op: MergeOp::ParentChild { parent: id, child: c },
+            };
+            if entry.best_parent_child.as_ref().is_none_or(|b| cand.penalty < b.penalty) {
+                entry.best_parent_child = Some(cand);
+            }
+        }
+        for (a, b) in self.sibling_pair_candidates(id) {
+            let plan = self.sibling_plan(id, a, b);
+            if entry.best_siblings.as_ref().is_none_or(|x| plan.penalty < x.penalty) {
+                entry.best_siblings = Some(MergePenalty {
+                    penalty: plan.penalty,
+                    op: MergeOp::Siblings { parent: id, a, b },
+                });
+            }
+        }
+        entry
+    }
+
+    /// Sibling pairs worth evaluating under `parent`. Small child lists are
+    /// searched exhaustively; large ones are pruned to each child's
+    /// `sibling_neighbor_cap` hull-nearest siblings (see [`crate::SthConfig`]).
+    fn sibling_pair_candidates(&self, parent: BucketId) -> Vec<(BucketId, BucketId)> {
+        let kids = &self.arena.get(parent).children;
+        let k = kids.len();
+        let cap = self.config.sibling_neighbor_cap;
+        let exhaustive = match cap {
+            None => true,
+            Some(cap) => k <= cap.max(2) * 2,
+        };
+        if exhaustive {
+            let mut pairs = Vec::with_capacity(k.saturating_sub(1) * k / 2);
+            for (i, &a) in kids.iter().enumerate() {
+                for &b in &kids[i + 1..] {
+                    pairs.push((a, b));
+                }
+            }
+            return pairs;
+        }
+        let cap = cap.unwrap();
+        // Hull growth = vol(hull(a,b)) − vol(a) − vol(b): a cheap proxy for
+        // how much foreign volume a merge would absorb. Computed
+        // allocation-free — this proxy loop runs O(children²) times per
+        // cache refresh and dominates merge-search cost on flat trees.
+        let rects: Vec<&sth_geometry::Rect> =
+            kids.iter().map(|&c| &self.arena.get(c).rect).collect();
+        let vols: Vec<f64> = rects.iter().map(|r| r.volume()).collect();
+        let ndim = rects[0].ndim();
+        let hull_growth = |i: usize, j: usize| -> f64 {
+            let (lo_i, hi_i) = (rects[i].lo(), rects[i].hi());
+            let (lo_j, hi_j) = (rects[j].lo(), rects[j].hi());
+            let mut v = 1.0;
+            for d in 0..ndim {
+                v *= hi_i[d].max(hi_j[d]) - lo_i[d].min(lo_j[d]);
+            }
+            v - vols[i] - vols[j]
+        };
+        let mut pairs = std::collections::HashSet::new();
+        // Per-child best neighbors keep isolated children mergeable; a small
+        // global top-up catches cheap pairs clustered in one region.
+        let mut all: Vec<(f64, usize, usize)> = Vec::with_capacity(k * (k - 1) / 2);
+        for i in 0..k {
+            let mut best: [(f64, usize); 2] = [(f64::INFINITY, usize::MAX); 2];
+            for j in 0..k {
+                if i == j {
+                    continue;
+                }
+                let g = hull_growth(i, j);
+                if i < j {
+                    all.push((g, i, j));
+                }
+                if g < best[0].0 {
+                    best[1] = best[0];
+                    best[0] = (g, j);
+                } else if g < best[1].0 {
+                    best[1] = (g, j);
+                }
+            }
+            for &(_, j) in best.iter().take(cap.min(2)) {
+                if j != usize::MAX {
+                    pairs.insert((kids[i].min(kids[j]), kids[i].max(kids[j])));
+                }
+            }
+        }
+        let global_top = (cap * 8).max(16);
+        if all.len() > global_top {
+            all.select_nth_unstable_by(global_top, |a, b| a.0.partial_cmp(&b.0).unwrap());
+            all.truncate(global_top);
+        }
+        for &(_, i, j) in &all {
+            pairs.insert((kids[i].min(kids[j]), kids[i].max(kids[j])));
+        }
+        pairs.into_iter().collect()
+    }
+
+    /// Penalty of folding `child` into `parent`: both regions are afterwards
+    /// estimated with the pooled density.
+    fn parent_child_penalty(&self, parent: BucketId, child: BucketId) -> f64 {
+        let f_p = self.arena.get(parent).freq;
+        let f_c = self.arena.get(child).freq;
+        let v_p = self.arena.own_volume(parent);
+        let v_c = self.arena.own_volume(child);
+        let v_n = v_p + v_c;
+        let rho_n = if v_n > 0.0 { (f_p + f_c) / v_n } else { 0.0 };
+        (f_p - rho_n * v_p).abs() + (f_c - rho_n * v_c).abs()
+    }
+
+    /// Builds the sibling-merge plan for children `a`, `b` of `parent`.
+    fn sibling_plan(&self, parent: BucketId, a: BucketId, b: BucketId) -> SiblingPlan {
+        let pa = self.arena.get(parent);
+        let ra = &self.arena.get(a).rect;
+        let rb = &self.arena.get(b).rect;
+        let mut bn_rect = ra.hull(rb);
+        // Extend until no other sibling partially overlaps (Fig. 3 (b)).
+        loop {
+            let mut changed = false;
+            for &s in &pa.children {
+                if s == a || s == b {
+                    continue;
+                }
+                let rs = &self.arena.get(s).rect;
+                if bn_rect.intersects(rs) && !bn_rect.contains_rect(rs) {
+                    bn_rect.extend_to_cover(rs);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let participants: Vec<BucketId> = pa
+            .children
+            .iter()
+            .copied()
+            .filter(|&s| s != a && s != b && bn_rect.contains_rect(&self.arena.get(s).rect))
+            .collect();
+
+        // Volume the merged bucket takes over from the parent's own region.
+        let mut v_move = bn_rect.volume() - ra.volume() - rb.volume();
+        for &p in &participants {
+            v_move -= self.arena.get(p).rect.volume();
+        }
+        let v_move = v_move.max(0.0);
+        let v_p_own = self.arena.own_volume(parent);
+        let rho_p = if v_p_own > 0.0 { pa.freq / v_p_own } else { 0.0 };
+        let f_move = (rho_p * v_move).min(pa.freq);
+
+        // Own volume of the merged bucket: its box minus all child boxes
+        // (former children of a and b, plus the participants).
+        let mut v_n = bn_rect.volume();
+        for &c in self.arena.get(a).children.iter().chain(&self.arena.get(b).children) {
+            v_n -= self.arena.get(c).rect.volume();
+        }
+        for &p in &participants {
+            v_n -= self.arena.get(p).rect.volume();
+        }
+        let v_n = v_n.max(0.0);
+
+        let f_a = self.arena.get(a).freq;
+        let f_b = self.arena.get(b).freq;
+        let f_n = f_a + f_b + f_move;
+        let rho_n = if v_n > 0.0 { f_n / v_n } else { 0.0 };
+        let v_a = self.arena.own_volume(a);
+        let v_b = self.arena.own_volume(b);
+        let penalty = (f_a - rho_n * v_a).abs()
+            + (f_b - rho_n * v_b).abs()
+            + (f_move - rho_n * v_move).abs();
+        SiblingPlan { bn_rect, participants, v_move, f_move, penalty }
+    }
+
+    /// Applies a merge. The operation must refer to live buckets with the
+    /// stated relationships.
+    pub(crate) fn apply_merge(&mut self, op: &MergeOp) {
+        match *op {
+            MergeOp::ParentChild { parent, child } => {
+                debug_assert_eq!(self.arena.get(child).parent, Some(parent));
+                let removed = {
+                    let b = self.arena.get_mut(parent);
+                    b.children.retain(|&c| c != child);
+                    self.arena.dealloc(child)
+                };
+                for &gc in &removed.children {
+                    self.arena.get_mut(gc).parent = Some(parent);
+                }
+                let p = self.arena.get_mut(parent);
+                p.children.extend(&removed.children);
+                p.freq += removed.freq;
+                self.nonroot_count -= 1;
+                self.merge_cache.remove(&child);
+                self.invalidate_merges(parent);
+            }
+            MergeOp::Siblings { parent, a, b } => {
+                let plan = self.sibling_plan(parent, a, b);
+                let removed_a = self.arena.dealloc(a);
+                let removed_b = self.arena.dealloc(b);
+                let mut children = removed_a.children;
+                children.extend(removed_b.children);
+                children.extend(&plan.participants);
+                let f_n = removed_a.freq + removed_b.freq + plan.f_move;
+                let bn = self.arena.alloc(Bucket {
+                    rect: plan.bn_rect,
+                    freq: f_n,
+                    parent: Some(parent),
+                    children,
+                });
+                for i in 0..self.arena.get(bn).children.len() {
+                    let c = self.arena.get(bn).children[i];
+                    self.arena.get_mut(c).parent = Some(bn);
+                }
+                let p = self.arena.get_mut(parent);
+                p.children.retain(|&c| c != a && c != b && !plan.participants.contains(&c));
+                p.children.push(bn);
+                p.freq = (p.freq - plan.f_move).max(0.0);
+                let _ = plan.v_move; // kept for documentation symmetry
+                self.nonroot_count -= 1;
+                self.merge_cache.remove(&a);
+                self.merge_cache.remove(&b);
+                self.invalidate_merges(parent);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sth_query::CardinalityEstimator;
+
+    fn domain() -> Rect {
+        Rect::cube(2, 0.0, 100.0)
+    }
+
+    /// Histogram with root and two disjoint children, plus a grandchild.
+    fn build() -> (StHoles, BucketId, BucketId, BucketId) {
+        let mut h = StHoles::with_total(domain(), 10, 10.0);
+        let root = h.root();
+        let a = h.arena.alloc(Bucket::leaf(Rect::from_bounds(&[0.0, 0.0], &[20.0, 20.0]), 40.0, Some(root)));
+        let b = h.arena.alloc(Bucket::leaf(Rect::from_bounds(&[60.0, 60.0], &[80.0, 80.0]), 8.0, Some(root)));
+        h.arena.get_mut(root).children.extend([a, b]);
+        let gc = h.arena.alloc(Bucket::leaf(Rect::from_bounds(&[5.0, 5.0], &[10.0, 10.0]), 30.0, Some(a)));
+        h.arena.get_mut(a).children.push(gc);
+        h.nonroot_count = 3;
+        h.check_invariants().unwrap();
+        (h, a, b, gc)
+    }
+
+    #[test]
+    fn parent_child_merge_preserves_total_and_reparents() {
+        let (mut h, a, _b, gc) = build();
+        let total = h.total_freq();
+        h.apply_merge(&MergeOp::ParentChild { parent: a, child: gc });
+        h.check_invariants().unwrap();
+        assert_eq!(h.bucket_count(), 2);
+        assert!((h.total_freq() - total).abs() < 1e-9);
+        assert!((h.arena.get(a).freq - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grandchildren_survive_parent_child_merge() {
+        let (mut h, a, _b, gc) = build();
+        let root = h.root();
+        h.apply_merge(&MergeOp::ParentChild { parent: root, child: a });
+        h.check_invariants().unwrap();
+        // gc is now a direct child of root.
+        assert_eq!(h.arena.get(gc).parent, Some(root));
+        assert!(h.arena.get(root).children.contains(&gc));
+    }
+
+    #[test]
+    fn sibling_merge_produces_hull_bucket() {
+        let (mut h, a, b, gc) = build();
+        let root = h.root();
+        let total = h.total_freq();
+        h.apply_merge(&MergeOp::Siblings { parent: root, a, b });
+        h.check_invariants().unwrap();
+        assert_eq!(h.bucket_count(), 2); // merged bucket + gc
+        assert!((h.total_freq() - total).abs() < 1e-9);
+        let kids = &h.arena.get(root).children;
+        assert_eq!(kids.len(), 1);
+        let bn = kids[0];
+        let r = &h.arena.get(bn).rect;
+        assert!(r.contains_rect(&Rect::from_bounds(&[0.0, 0.0], &[20.0, 20.0])));
+        assert!(r.contains_rect(&Rect::from_bounds(&[60.0, 60.0], &[80.0, 80.0])));
+        // gc lives under the merged bucket now.
+        assert_eq!(h.arena.get(gc).parent, Some(bn));
+    }
+
+    #[test]
+    fn sibling_merge_extends_over_partial_overlaps() {
+        // Three siblings where the hull of (a, b) partially cuts c: the merge
+        // must extend to fully include c, making it a participant (Fig. 3).
+        let mut h = StHoles::with_total(domain(), 10, 10.0);
+        let root = h.root();
+        let a = h.arena.alloc(Bucket::leaf(Rect::from_bounds(&[0.0, 0.0], &[10.0, 10.0]), 5.0, Some(root)));
+        let b = h.arena.alloc(Bucket::leaf(Rect::from_bounds(&[50.0, 40.0], &[60.0, 50.0]), 5.0, Some(root)));
+        let c = h.arena.alloc(Bucket::leaf(Rect::from_bounds(&[20.0, 20.0], &[45.0, 60.0]), 5.0, Some(root)));
+        h.arena.get_mut(root).children.extend([a, b, c]);
+        h.nonroot_count = 3;
+        h.check_invariants().unwrap();
+        h.apply_merge(&MergeOp::Siblings { parent: root, a, b });
+        h.check_invariants().unwrap();
+        let kids = h.arena.get(root).children.clone();
+        assert_eq!(kids.len(), 1);
+        let bn = kids[0];
+        assert!(h.arena.get(bn).rect.contains_rect(&Rect::from_bounds(&[20.0, 20.0], &[45.0, 60.0])));
+        assert_eq!(h.arena.get(c).parent, Some(bn));
+    }
+
+    #[test]
+    fn best_merge_prefers_identical_densities() {
+        // Two siblings of equal density merge for free; a third with wildly
+        // different density should not be chosen.
+        let mut h = StHoles::with_total(domain(), 10, 0.0);
+        let root = h.root();
+        let a = h.arena.alloc(Bucket::leaf(Rect::from_bounds(&[0.0, 0.0], &[10.0, 10.0]), 100.0, Some(root)));
+        let b = h.arena.alloc(Bucket::leaf(Rect::from_bounds(&[10.0, 0.0], &[20.0, 10.0]), 100.0, Some(root)));
+        let c = h.arena.alloc(Bucket::leaf(Rect::from_bounds(&[50.0, 50.0], &[60.0, 60.0]), 10_000.0, Some(root)));
+        h.arena.get_mut(root).children.extend([a, b, c]);
+        h.nonroot_count = 3;
+        let best = h.best_merge().unwrap();
+        assert!(best.penalty < 1e-6, "equal-density merge should be free, got {}", best.penalty);
+        match best.op {
+            MergeOp::Siblings { a: x, b: y, .. } => {
+                assert_eq!([x.min(y), x.max(y)], [a.min(b), a.max(b)]);
+            }
+            ref other => panic!("expected sibling merge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compact_enforces_budget_and_preserves_total() {
+        let (mut h, _a, _b, _gc) = build();
+        let total = h.total_freq();
+        h.config.budget = 1;
+        h.compact();
+        h.check_invariants().unwrap();
+        assert!(h.bucket_count() <= 1);
+        assert!((h.total_freq() - total).abs() < 1e-9);
+        // Estimates still defined everywhere.
+        assert!(h.estimate(&domain()).is_finite());
+    }
+
+    #[test]
+    fn merge_to_zero_buckets() {
+        let (mut h, _a, _b, _gc) = build();
+        h.config.budget = 0;
+        h.compact();
+        h.check_invariants().unwrap();
+        assert_eq!(h.bucket_count(), 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Compact binary persistence for [`StHoles`].
+//!
+//! Query optimizers keep their synopses in the catalog; this module gives
+//! the histogram a stable, dependency-free on-disk representation (the
+//! approved offline crate set has no serde *format* crate, so the codec is
+//! hand-rolled little-endian).
+//!
+//! Layout: magic, version, domain, config, then the bucket tree in
+//! pre-order (id remapping makes the encoding independent of arena slot
+//! history, so logically equal histograms encode identically).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use sth_geometry::Rect;
+
+use crate::{Bucket, BucketArena, BucketId, MergePolicy, StHoles, SthConfig};
+
+const MAGIC: &[u8; 4] = b"STH1";
+const VERSION: u8 = 1;
+
+/// Errors produced by [`StHoles::from_bytes`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input does not start with the expected magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Input ended prematurely or contained malformed values.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not an STHoles histogram (bad magic)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported histogram version {v}"),
+            DecodeError::Corrupt(what) => write!(f, "corrupt histogram encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError::Corrupt("unexpected end of input"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn finite_f64(&mut self, what: &'static str) -> Result<f64, DecodeError> {
+        let v = self.f64()?;
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(DecodeError::Corrupt(what))
+        }
+    }
+}
+
+fn put_rect(out: &mut Vec<u8>, r: &Rect) {
+    for d in 0..r.ndim() {
+        out.extend_from_slice(&r.lo()[d].to_le_bytes());
+        out.extend_from_slice(&r.hi()[d].to_le_bytes());
+    }
+}
+
+fn get_rect(r: &mut Reader<'_>, dim: usize) -> Result<Rect, DecodeError> {
+    let mut lo = vec![0.0; dim];
+    let mut hi = vec![0.0; dim];
+    for d in 0..dim {
+        lo[d] = r.finite_f64("non-finite bound")?;
+        hi[d] = r.finite_f64("non-finite bound")?;
+    }
+    Rect::new(&lo, &hi).map_err(|_| DecodeError::Corrupt("invalid rectangle"))
+}
+
+impl StHoles {
+    /// Encodes the histogram into a self-contained byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + 64 * self.bucket_count());
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        let dim = self.domain().ndim() as u32;
+        out.extend_from_slice(&dim.to_le_bytes());
+        put_rect(&mut out, self.domain());
+        out.extend_from_slice(&(self.config.budget as u32).to_le_bytes());
+        out.extend_from_slice(&self.config.min_hole_volume_frac.to_le_bytes());
+        out.push(match self.config.merge_policy {
+            MergePolicy::All => 0,
+            MergePolicy::ParentChildOnly => 1,
+            MergePolicy::SiblingFirst => 2,
+        });
+        match self.config.sibling_neighbor_cap {
+            None => out.extend_from_slice(&u32::MAX.to_le_bytes()),
+            Some(c) => out.extend_from_slice(&(c as u32).to_le_bytes()),
+        }
+        // Pre-order bucket stream with remapped ids: parent, rect, freq.
+        out.extend_from_slice(&((self.bucket_count() + 1) as u32).to_le_bytes());
+        let mut order: Vec<BucketId> = Vec::with_capacity(self.bucket_count() + 1);
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            order.push(id);
+            stack.extend(self.arena().get(id).children.iter().rev());
+        }
+        let remap: HashMap<BucketId, u32> =
+            order.iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
+        for &id in &order {
+            let b = self.arena().get(id);
+            let parent = b.parent.map_or(u32::MAX, |p| remap[&p]);
+            out.extend_from_slice(&parent.to_le_bytes());
+            put_rect(&mut out, &b.rect);
+            out.extend_from_slice(&b.freq.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a histogram previously produced by [`StHoles::to_bytes`].
+    /// The decoded tree is validated with
+    /// [`StHoles::check_invariants`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<StHoles, DecodeError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let dim = r.u32()? as usize;
+        if dim == 0 || dim > 1024 {
+            return Err(DecodeError::Corrupt("implausible dimensionality"));
+        }
+        let domain = get_rect(&mut r, dim)?;
+        let budget = r.u32()? as usize;
+        let min_hole_volume_frac = r.finite_f64("non-finite config value")?;
+        let merge_policy = match r.u8()? {
+            0 => MergePolicy::All,
+            1 => MergePolicy::ParentChildOnly,
+            2 => MergePolicy::SiblingFirst,
+            _ => return Err(DecodeError::Corrupt("unknown merge policy")),
+        };
+        let cap = r.u32()?;
+        let sibling_neighbor_cap = if cap == u32::MAX { None } else { Some(cap as usize) };
+        let config =
+            SthConfig { budget, min_hole_volume_frac, merge_policy, sibling_neighbor_cap };
+
+        let count = r.u32()? as usize;
+        if count == 0 {
+            return Err(DecodeError::Corrupt("no buckets"));
+        }
+        let mut arena = BucketArena::new();
+        let mut ids = Vec::with_capacity(count);
+        for i in 0..count {
+            let parent_idx = r.u32()?;
+            let rect = get_rect(&mut r, dim)?;
+            let freq = r.finite_f64("non-finite frequency")?;
+            if freq < 0.0 {
+                return Err(DecodeError::Corrupt("negative frequency"));
+            }
+            let parent = if parent_idx == u32::MAX {
+                if i != 0 {
+                    return Err(DecodeError::Corrupt("multiple roots"));
+                }
+                None
+            } else {
+                let p = parent_idx as usize;
+                if p >= i {
+                    return Err(DecodeError::Corrupt("parent not before child (not pre-order)"));
+                }
+                Some(ids[p])
+            };
+            let id = arena.alloc(Bucket::leaf(rect, freq, parent));
+            if let Some(p) = parent {
+                arena.get_mut(p).children.push(id);
+            }
+            ids.push(id);
+        }
+        if r.pos != bytes.len() {
+            return Err(DecodeError::Corrupt("trailing bytes"));
+        }
+        let hist = StHoles::assemble(arena, ids[0], config, count - 1, domain);
+        hist.check_invariants().map_err(|_| DecodeError::Corrupt("invariant violation"))?;
+        Ok(hist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sth_index::ScanCounter;
+    use sth_query::{CardinalityEstimator, SelfTuning};
+
+    fn trained() -> StHoles {
+        let ds = sth_data::cross::CrossSpec::cross2d().scaled(0.02).generate();
+        let counter = ScanCounter::new(&ds);
+        let mut h = StHoles::with_total(ds.domain().clone(), 20, ds.len() as f64);
+        let wl = sth_query::WorkloadSpec { count: 60, ..sth_query::WorkloadSpec::paper(0.01, 4) }
+            .generate(ds.domain(), None);
+        for q in wl.queries() {
+            h.refine(q.rect(), &counter);
+        }
+        h
+    }
+
+    #[test]
+    fn roundtrip_preserves_estimates() {
+        let h = trained();
+        let bytes = h.to_bytes();
+        let back = StHoles::from_bytes(&bytes).unwrap();
+        assert_eq!(back.bucket_count(), h.bucket_count());
+        assert_eq!(back.budget(), h.budget());
+        let probes = [
+            Rect::from_bounds(&[0.0, 0.0], &[1000.0, 1000.0]),
+            Rect::from_bounds(&[480.0, 100.0], &[520.0, 900.0]),
+            Rect::from_bounds(&[100.0, 480.0], &[900.0, 520.0]),
+            Rect::from_bounds(&[10.0, 10.0], &[50.0, 50.0]),
+        ];
+        for p in &probes {
+            assert!((h.estimate(p) - back.estimate(p)).abs() < 1e-9, "mismatch on {p}");
+        }
+    }
+
+    #[test]
+    fn decoded_histogram_keeps_learning() {
+        let h = trained();
+        let ds = sth_data::cross::CrossSpec::cross2d().scaled(0.02).generate();
+        let counter = ScanCounter::new(&ds);
+        let mut back = StHoles::from_bytes(&h.to_bytes()).unwrap();
+        let q = Rect::from_bounds(&[200.0, 200.0], &[400.0, 400.0]);
+        back.refine(&q, &counter);
+        back.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(StHoles::from_bytes(b"nope").unwrap_err(), DecodeError::BadMagic);
+        assert_eq!(
+            StHoles::from_bytes(b"STH1\x09").unwrap_err(),
+            DecodeError::BadVersion(9)
+        );
+        let mut truncated = trained().to_bytes();
+        truncated.truncate(truncated.len() - 3);
+        assert!(matches!(StHoles::from_bytes(&truncated).unwrap_err(), DecodeError::Corrupt(_)));
+    }
+
+    #[test]
+    fn rejects_bitflips_gracefully() {
+        // Flipping any single byte must never panic — either it decodes to a
+        // still-valid histogram or returns an error.
+        let bytes = trained().to_bytes();
+        for i in (0..bytes.len()).step_by(7) {
+            let mut m = bytes.clone();
+            m[i] ^= 0xFF;
+            let _ = StHoles::from_bytes(&m);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_roundtrip() {
+        let h = StHoles::with_total(Rect::cube(3, 0.0, 10.0), 5, 42.0);
+        let back = StHoles::from_bytes(&h.to_bytes()).unwrap();
+        assert_eq!(back.bucket_count(), 0);
+        assert!((back.estimate(&Rect::cube(3, 0.0, 10.0)) - 42.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Diagnostics over the bucket tree.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BucketId, StHoles};
+
+/// Summary statistics of a histogram's bucket tree.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistogramStats {
+    /// Buckets excluding the root.
+    pub buckets: usize,
+    /// Depth of the bucket tree (root = 0).
+    pub depth: usize,
+    /// Non-root buckets spanning the full domain in ≥1 (but not all)
+    /// dimensions — the *subspace buckets* counted in the paper's §5.3
+    /// dimensionality experiment.
+    pub subspace_buckets: usize,
+    /// Buckets without children.
+    pub leaves: usize,
+    /// Sum of all bucket frequencies.
+    pub total_freq: f64,
+}
+
+impl StHoles {
+    /// Computes summary statistics.
+    pub fn stats(&self) -> HistogramStats {
+        let mut depth = 0;
+        let mut leaves = 0;
+        let mut stack: Vec<(BucketId, usize)> = vec![(self.root(), 0)];
+        while let Some((id, d)) = stack.pop() {
+            let b = self.arena().get(id);
+            depth = depth.max(d);
+            if b.children.is_empty() {
+                leaves += 1;
+            }
+            stack.extend(b.children.iter().map(|&c| (c, d + 1)));
+        }
+        HistogramStats {
+            buckets: self.bucket_count(),
+            depth,
+            subspace_buckets: self.subspace_bucket_count(),
+            leaves,
+            total_freq: self.total_freq(),
+        }
+    }
+
+    /// Counts the non-root buckets that span the full domain in at least one
+    /// dimension without covering the whole domain.
+    pub fn subspace_bucket_count(&self) -> usize {
+        let domain = self.domain().clone();
+        self.arena()
+            .iter()
+            .filter(|&(id, b)| {
+                if id == self.root() {
+                    return false;
+                }
+                let unused = b.rect.unconstrained_dims(&domain);
+                !unused.is_empty() && unused.len() < domain.ndim()
+            })
+            .count()
+    }
+
+    /// Renders the bucket tree as an indented text dump (ids, boxes,
+    /// frequencies). Intended for debugging and the examples.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.dump_rec(self.root(), 0, &mut out);
+        out
+    }
+
+    fn dump_rec(&self, id: BucketId, indent: usize, out: &mut String) {
+        let b = self.arena().get(id);
+        let _ = writeln!(out, "{:indent$}#{id} {} n={:.1}", "", b.rect, b.freq, indent = indent * 2);
+        for &c in &b.children {
+            self.dump_rec(c, indent + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Bucket;
+    use sth_geometry::Rect;
+
+    #[test]
+    fn stats_on_small_tree() {
+        let domain = Rect::cube(3, 0.0, 10.0);
+        let mut h = StHoles::with_total(domain.clone(), 10, 5.0);
+        let root = h.root();
+        // A subspace bucket: spans dims 0 and 2 fully, restricted in dim 1.
+        let sub = h.arena.alloc(Bucket::leaf(
+            Rect::from_bounds(&[0.0, 2.0, 0.0], &[10.0, 4.0, 10.0]),
+            3.0,
+            Some(root),
+        ));
+        h.arena.get_mut(root).children.push(sub);
+        // A full-dimensional bucket nested inside it.
+        let full = h.arena.alloc(Bucket::leaf(
+            Rect::from_bounds(&[1.0, 2.5, 1.0], &[2.0, 3.0, 2.0]),
+            1.0,
+            Some(sub),
+        ));
+        h.arena.get_mut(sub).children.push(full);
+        h.nonroot_count = 2;
+        h.check_invariants().unwrap();
+
+        let s = h.stats();
+        assert_eq!(s.buckets, 2);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.subspace_buckets, 1);
+        assert_eq!(s.leaves, 1);
+        assert!((s.total_freq - 9.0).abs() < 1e-9);
+
+        let dump = h.dump();
+        assert_eq!(dump.lines().count(), 3);
+        assert!(dump.contains("n=3.0"));
+    }
+
+    #[test]
+    fn root_is_never_a_subspace_bucket() {
+        let h = StHoles::with_total(Rect::cube(2, 0.0, 1.0), 5, 1.0);
+        assert_eq!(h.subspace_bucket_count(), 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests: the bucket tree stays structurally sound under
+//! arbitrary query workloads, and estimation behaves like a measure.
+
+use proptest::prelude::*;
+use sth_data::Dataset;
+use sth_geometry::Rect;
+use sth_histogram::StHoles;
+use sth_index::ScanCounter;
+use sth_query::{CardinalityEstimator, SelfTuning};
+
+/// Builds a small 2-d dataset from a point list within [0, 100)².
+fn dataset(points: &[(f64, f64)]) -> Dataset {
+    let xs = points.iter().map(|p| p.0).collect();
+    let ys = points.iter().map(|p| p.1).collect();
+    Dataset::from_columns("prop", Rect::cube(2, 0.0, 100.0), vec![xs, ys])
+}
+
+fn point_strategy() -> impl Strategy<Value = (f64, f64)> {
+    (0.0f64..100.0, 0.0f64..100.0)
+}
+
+fn query_strategy() -> impl Strategy<Value = Rect> {
+    (0.0f64..90.0, 0.0f64..90.0, 1.0f64..60.0, 1.0f64..60.0).prop_map(|(x, y, w, h)| {
+        Rect::from_bounds(&[x, y], &[(x + w).min(100.0), (y + h).min(100.0)])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn invariants_hold_under_random_workloads(
+        points in proptest::collection::vec(point_strategy(), 20..200),
+        queries in proptest::collection::vec(query_strategy(), 1..40),
+        budget in 1usize..12,
+    ) {
+        let ds = dataset(&points);
+        let counter = ScanCounter::new(&ds);
+        let mut h = StHoles::with_total(Rect::cube(2, 0.0, 100.0), budget, ds.len() as f64);
+        for q in &queries {
+            h.refine(q, &counter);
+            prop_assert!(h.check_invariants().is_ok(), "{}", h.check_invariants().unwrap_err());
+            prop_assert!(h.bucket_count() <= budget);
+        }
+    }
+
+    #[test]
+    fn estimates_are_finite_and_nonnegative(
+        points in proptest::collection::vec(point_strategy(), 20..100),
+        queries in proptest::collection::vec(query_strategy(), 1..20),
+        probes in proptest::collection::vec(query_strategy(), 1..20),
+    ) {
+        let ds = dataset(&points);
+        let counter = ScanCounter::new(&ds);
+        let mut h = StHoles::with_total(Rect::cube(2, 0.0, 100.0), 8, ds.len() as f64);
+        for q in &queries {
+            h.refine(q, &counter);
+        }
+        for p in &probes {
+            let e = h.estimate(p);
+            prop_assert!(e.is_finite());
+            prop_assert!(e >= -1e-9, "negative estimate {e}");
+            // Frequencies are clamped approximations, so an estimate can
+            // exceed the true total a little, but never run away.
+            prop_assert!(e <= 2.0 * ds.len() as f64 + 10.0, "estimate {e} vs total {}", ds.len());
+        }
+    }
+
+    #[test]
+    fn total_mass_is_preserved(
+        points in proptest::collection::vec(point_strategy(), 20..100),
+        queries in proptest::collection::vec(query_strategy(), 1..30),
+    ) {
+        let ds = dataset(&points);
+        let counter = ScanCounter::new(&ds);
+        let domain = Rect::cube(2, 0.0, 100.0);
+        let mut h = StHoles::with_total(domain.clone(), 6, ds.len() as f64);
+        for q in &queries {
+            h.refine(q, &counter);
+            // Drilling replaces estimated mass with exact observed mass and
+            // clamps parent frequencies at zero, so the whole-domain mass can
+            // drift from the starting total — but it must stay bounded (no
+            // runaway double counting) and non-negative.
+            let whole = h.estimate(&domain);
+            prop_assert!(whole.is_finite());
+            prop_assert!(whole >= -1e-9);
+            prop_assert!(whole <= 2.0 * ds.len() as f64 + 10.0, "mass blew up: {whole}");
+        }
+    }
+
+    #[test]
+    fn last_query_is_answered_exactly_when_budget_allows(
+        points in proptest::collection::vec(point_strategy(), 20..150),
+        queries in proptest::collection::vec(query_strategy(), 1..10),
+    ) {
+        // With a generous budget, the bucket drilled for the most recent
+        // query must answer that query exactly (its holes partition q).
+        let ds = dataset(&points);
+        let counter = ScanCounter::new(&ds);
+        let mut h = StHoles::with_total(Rect::cube(2, 0.0, 100.0), 64, ds.len() as f64);
+        for q in &queries {
+            h.refine(q, &counter);
+        }
+        let last = queries.last().unwrap();
+        let truth = ds.count_in_scan(last) as f64;
+        let est = h.estimate(last);
+        prop_assert!(
+            (est - truth).abs() <= truth.max(1.0) * 0.35 + 2.0,
+            "estimate {est} too far from truth {truth}\n{}",
+            h.dump()
+        );
+    }
+
+    #[test]
+    fn estimation_is_monotone_in_query_box(
+        points in proptest::collection::vec(point_strategy(), 20..100),
+        queries in proptest::collection::vec(query_strategy(), 1..15),
+        probe in query_strategy(),
+    ) {
+        let ds = dataset(&points);
+        let counter = ScanCounter::new(&ds);
+        let mut h = StHoles::with_total(Rect::cube(2, 0.0, 100.0), 8, ds.len() as f64);
+        for q in &queries {
+            h.refine(q, &counter);
+        }
+        // A larger box never has a smaller estimate.
+        let grown = Rect::from_bounds(
+            &[(probe.lo()[0] - 5.0).max(0.0), (probe.lo()[1] - 5.0).max(0.0)],
+            &[(probe.hi()[0] + 5.0).min(100.0), (probe.hi()[1] + 5.0).min(100.0)],
+        );
+        prop_assert!(h.estimate(&grown) + 1e-6 >= h.estimate(&probe));
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: build, initialize, query and refine a self-tuning histogram.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sth::data::cross::CrossSpec;
+use sth::prelude::*;
+
+fn main() {
+    // 1. A dataset with local correlations: the 2-d "Cross" — two dense
+    //    one-dimensional bands crossing in the middle of [0,1000)².
+    let data = CrossSpec::cross2d().generate();
+    println!("dataset: {} tuples, {} attributes", data.len(), data.ndim());
+
+    // 2. An exact range-count index plays the query execution engine: it
+    //    supplies the true cardinalities a real system observes when it
+    //    executes a query.
+    let engine = KdCountTree::build(&data);
+
+    // 3. The paper's method: find dense subspace clusters with MineClus and
+    //    seed the histogram with their extended bounding rectangles, most
+    //    important cluster first.
+    let mineclus = MineClus::new(MineClusConfig { alpha: 0.05, width: 30.0, ..MineClusConfig::default() });
+    let (mut hist, report) =
+        build_initialized(&data, 100, &mineclus, &InitConfig::default(), None, &engine);
+    println!(
+        "initialized with {} clusters ({} of them subspace clusters) in {:.2}s",
+        report.fed,
+        report.subspace_cluster_count(data.ndim()),
+        report.clustering_secs
+    );
+
+    // 4. Estimate a query the optimizer would see...
+    let q = Rect::from_bounds(&[480.0, 100.0], &[520.0, 900.0]);
+    let estimate = hist.estimate(&q);
+    let truth = engine.count(&q) as f64;
+    println!("query {q}");
+    println!("  estimate before feedback: {estimate:.0} (truth {truth:.0})");
+
+    // 5. ...then let the histogram refine itself from the executed result.
+    hist.refine(&q, &engine);
+    println!("  estimate after feedback:  {:.0}", hist.estimate(&q));
+
+    // 6. Compare against an uninitialized histogram trained on the same
+    //    workload — the paper's headline result.
+    let workload = WorkloadSpec::paper(0.01, 42).generate(data.domain(), None);
+    let mut uninit = build_uninitialized(&data, 100);
+    let mut sum_err_init = 0.0;
+    let mut sum_err_uninit = 0.0;
+    for q in workload.queries() {
+        let truth = engine.count(q.rect()) as f64;
+        sum_err_init += (hist.estimate(q.rect()) - truth).abs();
+        sum_err_uninit += (uninit.estimate(q.rect()) - truth).abs();
+        hist.refine(q.rect(), &engine);
+        uninit.refine(q.rect(), &engine);
+    }
+    let n = workload.len() as f64;
+    println!("mean absolute error over {} queries:", workload.len());
+    println!("  initialized:   {:8.1}", sum_err_init / n);
+    println!("  uninitialized: {:8.1}", sum_err_uninit / n);
+
+    // 7. Histograms persist to a compact binary blob (catalog storage).
+    let bytes = hist.to_bytes();
+    let restored = StHoles::from_bytes(&bytes).expect("roundtrip");
+    println!(
+        "persisted {} buckets in {} bytes; restored estimate {:.0}",
+        restored.bucket_count(),
+        bytes.len(),
+        restored.estimate(&q)
+    );
+}

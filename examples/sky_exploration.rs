@@ -1,0 +1,80 @@
+//! Subspace exploration of the Sky dataset: what MineClus finds, and how the
+//! clusters become histogram buckets (the story behind Table 4 of the
+//! paper).
+//!
+//! ```text
+//! cargo run --release --example sky_exploration
+//! ```
+
+use sth::data::sky::SkySpec;
+use sth::mineclus::SubspaceCluster;
+use sth::prelude::*;
+
+fn main() {
+    let data = SkySpec::scaled(0.1).generate();
+    println!("Sky: {} tuples, {} attributes\n", data.len(), data.ndim());
+
+    // Cluster a sample (boundaries only — exact counts come later from the
+    // index, as in the initialization pipeline).
+    let sample = data.sample(30_000, 1);
+    let mineclus = MineClus::new(MineClusConfig::default());
+    let t0 = std::time::Instant::now();
+    let clusters = mineclus.cluster(&sample);
+    println!(
+        "MineClus found {} clusters on a {}-tuple sample in {:.2}s\n",
+        clusters.len(),
+        sample.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    // Table-4-style report.
+    println!(
+        "{:>7}  {:>22}  {:>9}  {:>12}",
+        "cluster", "unused dims (1-based)", "tuples", "importance"
+    );
+    let scale_up = data.len() as f64 / sample.len() as f64;
+    let mut subspace_count = 0;
+    for (i, c) in clusters.iter().enumerate() {
+        let unused: Vec<String> = c
+            .dims
+            .complement(data.ndim())
+            .iter()
+            .map(|d| (d + 1).to_string())
+            .collect();
+        if !unused.is_empty() {
+            subspace_count += 1;
+        }
+        println!(
+            "{:>7}  {:>22}  {:>9}  {:>12.2e}",
+            format!("C{i}"),
+            if unused.is_empty() { "none".to_string() } else { unused.join(",") },
+            (c.len() as f64 * scale_up).round() as u64,
+            c.score
+        );
+    }
+    println!(
+        "\n{} full-dimensional / {} subspace clusters (the paper found 11 / 9)\n",
+        clusters.len() - subspace_count,
+        subspace_count
+    );
+
+    // Show the two rectangle representations for the most important
+    // subspace cluster: the extended BR preserves the projection, the MBR
+    // silently raises the dimensionality (§4.1, Fig. 6).
+    if let Some(c) = clusters.iter().find(|c: &&SubspaceCluster| c.is_subspace(data.ndim())) {
+        println!("most important subspace cluster uses dims {}:", c.dims);
+        println!("  extended BR: {}", c.extended_br(&sample).unwrap());
+        println!("  plain MBR:   {}", c.mbr(&sample).unwrap());
+    }
+
+    // Feed the clusters into a histogram and inspect the resulting tree.
+    let engine = KdCountTree::build(&data);
+    let mut hist = build_uninitialized(&data, 100);
+    let fed = initialize_histogram(&mut hist, &sample, &clusters, &InitConfig::default(), &engine);
+    let stats = hist.stats();
+    println!("\nhistogram after initialization ({fed} clusters fed):");
+    println!(
+        "  {} buckets, tree depth {}, {} subspace buckets, {} leaves",
+        stats.buckets, stats.depth, stats.subspace_buckets, stats.leaves
+    );
+}

@@ -1,0 +1,94 @@
+//! # sth — self-tuning histograms with subspace-clustering initialization
+//!
+//! A from-scratch Rust implementation of the system described in
+//! *"Improving Accuracy and Robustness of Self-Tuning Histograms by Subspace
+//! Clustering"* (Khachatryan, Müller, Stier, Böhm; ICDE/TKDE 2015-2016):
+//!
+//! * [`histogram::StHoles`] — the STHoles multidimensional self-tuning
+//!   histogram (estimation, hole drilling, penalty-based merging);
+//! * [`mineclus::MineClus`] — subspace clustering (plus DOC and CLIQUE);
+//! * [`core::build_initialized`] — the paper's contribution: seed the
+//!   histogram with extended bounding rectangles of dense subspace
+//!   clusters, in importance order;
+//! * [`data`], [`index`], [`query`] — dataset generators, an exact
+//!   range-count index (the simulated execution engine), and workload
+//!   tooling;
+//! * [`baselines`], [`eval`] — reference estimators and the experiment
+//!   harness regenerating every table/figure of the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sth::prelude::*;
+//!
+//! // A dataset with local correlations (two 1-d bands crossing).
+//! let data = sth::data::cross::CrossSpec::cross2d().scaled(0.05).generate();
+//! let engine = KdCountTree::build(&data); // plays the query execution engine
+//!
+//! // The paper's method: initialize STHoles from subspace clusters...
+//! let mineclus = MineClus::new(MineClusConfig::default());
+//! let (mut hist, _report) =
+//!     build_initialized(&data, 100, &mineclus, &InitConfig::default(), None, &engine);
+//!
+//! // ...then keep self-tuning from executed queries.
+//! let query = Rect::from_bounds(&[480.0, 0.0], &[520.0, 1000.0]).into_query();
+//! let estimate = hist.estimate(query.rect());
+//! hist.refine(query.rect(), &engine);
+//! assert!(estimate >= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use sth_baselines as baselines;
+pub use sth_core as core;
+pub use sth_data as data;
+pub use sth_eval as eval;
+pub use sth_geometry as geometry;
+pub use sth_histogram as histogram;
+pub use sth_index as index;
+pub use sth_mineclus as mineclus;
+pub use sth_query as query;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use sth_baselines::{AviHistogram, TrivialHistogram};
+    pub use sth_core::{
+        build_initialized, build_uninitialized, initialize_histogram, BrMode, InitConfig,
+        InitOrder,
+    };
+    pub use sth_data::Dataset;
+    pub use sth_geometry::Rect;
+    pub use sth_histogram::{ConsistencyConfig, ConsistentStHoles, StHoles};
+    pub use sth_index::{KdCountTree, RangeCounter, ResultSetCounter};
+    pub use sth_mineclus::{MineClus, MineClusConfig, SubspaceClustering};
+    pub use sth_query::{
+        CardinalityEstimator, RangeQuery, SelfTuning, Workload, WorkloadSpec,
+    };
+
+    /// Ergonomic conversion used in the crate-level example.
+    pub trait IntoQuery {
+        /// Wraps a rectangle as a [`RangeQuery`].
+        fn into_query(self) -> RangeQuery;
+    }
+
+    impl IntoQuery for Rect {
+        fn into_query(self) -> RangeQuery {
+            RangeQuery::new(self)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let data = crate::data::cross::CrossSpec::cross2d().scaled(0.01).generate();
+        let engine = KdCountTree::build(&data);
+        let mut hist = build_uninitialized(&data, 10);
+        let q = Rect::from_bounds(&[0.0, 0.0], &[500.0, 500.0]).into_query();
+        hist.refine(q.rect(), &engine);
+        assert!(hist.estimate(q.rect()) >= 0.0);
+    }
+}
