@@ -3,13 +3,12 @@
 //! default, and exactly the approach the paper's motivating example (the
 //! `Cars` relation, §1) shows to fail on locally correlated data.
 
-use serde::{Deserialize, Serialize};
 use sth_data::Dataset;
 use sth_geometry::Rect;
 use sth_query::CardinalityEstimator;
 
 /// One equi-depth 1-D histogram: bucket boundaries plus per-bucket counts.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 struct Column1d {
     /// `buckets + 1` ascending boundaries covering the domain.
     bounds: Vec<f64>,
@@ -75,7 +74,7 @@ impl Column1d {
 /// The AVI estimator: an equi-depth histogram per attribute; a
 /// multidimensional selectivity is the product of the per-attribute
 /// selectivities. Cheap, standard, and blind to attribute correlations.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AviHistogram {
     columns: Vec<Column1d>,
     total: f64,

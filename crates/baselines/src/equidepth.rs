@@ -1,6 +1,5 @@
 //! Static equi-depth (MHist-style) histogram.
 
-use serde::{Deserialize, Serialize};
 use sth_data::Dataset;
 use sth_geometry::Rect;
 use sth_query::CardinalityEstimator;
@@ -10,7 +9,7 @@ use sth_query::CardinalityEstimator;
 /// median along its most spread-out dimension, until the bucket budget is
 /// reached. This is the shape of MHist (Poosala & Ioannidis, VLDB'97) with
 /// an equal-count split criterion.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct EquiDepthHistogram {
     buckets: Vec<(Rect, u32)>,
 }

@@ -1,6 +1,5 @@
 //! Static equi-width grid histogram.
 
-use serde::{Deserialize, Serialize};
 use sth_data::Dataset;
 use sth_geometry::Rect;
 use sth_query::CardinalityEstimator;
@@ -10,7 +9,7 @@ use sth_query::CardinalityEstimator;
 /// all full-space grids — cursed by dimensionality: the cell count explodes
 /// with `d`, which is precisely the motivation for the paper's subspace
 /// approach.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct EquiWidthGrid {
     domain: Rect,
     cells_per_dim: usize,

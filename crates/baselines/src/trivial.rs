@@ -1,13 +1,12 @@
 //! The trivial single-bucket histogram `H0`.
 
-use serde::{Deserialize, Serialize};
 use sth_geometry::Rect;
 use sth_query::CardinalityEstimator;
 
 /// `H0`: one bucket storing only the table cardinality, with the uniformity
 /// assumption over the whole domain. Used by the paper to normalize errors
 /// (Eq. 10): `NAE(H, W) = E(H, W) / E(H0, W)`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TrivialHistogram {
     domain: Rect,
     total: f64,

@@ -6,7 +6,7 @@
 
 use std::time::Duration;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sth_platform::bench::{black_box, Bench};
 use sth_bench::micro_ctx;
 use sth_core::{BrMode, InitConfig, InitOrder};
 use sth_eval::{run_simulation, DatasetSpec, RunConfig, Variant};
@@ -28,7 +28,7 @@ fn run_cfg() -> RunConfig {
 }
 
 /// Extended BR vs plain MBR initialization (§4.1, Fig. 6).
-fn ablation_br_mode(c: &mut Criterion) {
+fn ablation_br_mode(c: &mut Bench) {
     let prep = micro_ctx().prepare(DatasetSpec::Gauss);
     let mut g = c.benchmark_group("ablation_br_mode");
     g.warm_up_time(Duration::from_millis(500));
@@ -47,7 +47,7 @@ fn ablation_br_mode(c: &mut Criterion) {
 }
 
 /// Importance vs reversed vs random feeding order (§5.3, Fig. 13).
-fn ablation_init_order(c: &mut Criterion) {
+fn ablation_init_order(c: &mut Bench) {
     let prep = micro_ctx().prepare(DatasetSpec::Sky);
     let mut g = c.benchmark_group("ablation_init_order");
     g.warm_up_time(Duration::from_millis(500));
@@ -70,7 +70,7 @@ fn ablation_init_order(c: &mut Criterion) {
 }
 
 /// MineClus vs DOC vs CLIQUE as the initializer.
-fn ablation_initializer(c: &mut Criterion) {
+fn ablation_initializer(c: &mut Bench) {
     let prep = micro_ctx().prepare(DatasetSpec::Gauss);
     let algorithms: Vec<(&str, Box<dyn SubspaceClustering>)> = vec![
         ("mineclus", Box::new(MineClus::new(MineClusConfig::default()))),
@@ -101,7 +101,7 @@ fn ablation_initializer(c: &mut Criterion) {
 }
 
 /// Full merge policy vs restricted variants.
-fn ablation_merge_policy(c: &mut Criterion) {
+fn ablation_merge_policy(c: &mut Bench) {
     let prep = micro_ctx().prepare(DatasetSpec::Cross2d);
     let wl = WorkloadSpec { count: 200, ..WorkloadSpec::paper(0.01, 21) }
         .generate(prep.data.domain(), None);
@@ -128,11 +128,13 @@ fn ablation_merge_policy(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    ablation_br_mode,
-    ablation_init_order,
-    ablation_initializer,
-    ablation_merge_policy
-);
-criterion_main!(benches);
+fn main() {
+    // Anchor the JSON report at the repo root (perf trajectory).
+    let mut c = Bench::new("ablations")
+        .output_at(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ablations.json"));
+    ablation_br_mode(&mut c);
+    ablation_init_order(&mut c);
+    ablation_initializer(&mut c);
+    ablation_merge_policy(&mut c);
+    c.finish();
+}

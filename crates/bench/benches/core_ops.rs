@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sth_platform::bench::{black_box, Bench};
 use sth_bench::cross_fixture;
 use sth_core::build_uninitialized;
 use sth_geometry::Rect;
@@ -25,7 +25,7 @@ fn trained_histogram(buckets: usize) -> (sth_histogram::StHoles, Vec<Rect>) {
     (h, probes)
 }
 
-fn bench_estimate(c: &mut Criterion) {
+fn bench_estimate(c: &mut Bench) {
     let mut g = c.benchmark_group("estimate");
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(3));
@@ -43,7 +43,7 @@ fn bench_estimate(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_refine(c: &mut Criterion) {
+fn bench_refine(c: &mut Bench) {
     let prep = cross_fixture();
     let wl = WorkloadSpec { count: 2_000, ..WorkloadSpec::paper(0.01, 5) }
         .generate(prep.data.domain(), None);
@@ -65,12 +65,12 @@ fn bench_refine(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_best_merge(c: &mut Criterion) {
+fn bench_best_merge(c: &mut Bench) {
     let (mut h, _) = trained_histogram(250);
     c.bench_function("best_merge_scan_250", |b| b.iter(|| black_box(h.best_merge())));
 }
 
-fn bench_counting(c: &mut Criterion) {
+fn bench_counting(c: &mut Bench) {
     // `ablation_index`: the k-d tree vs a full scan for exact range counts.
     let prep = cross_fixture();
     let scan = ScanCounter::new(&prep.data);
@@ -102,5 +102,13 @@ fn bench_counting(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_estimate, bench_refine, bench_best_merge, bench_counting);
-criterion_main!(benches);
+fn main() {
+    // Anchor the JSON report at the repo root (perf trajectory).
+    let mut c = Bench::new("core_ops")
+        .output_at(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core_ops.json"));
+    bench_estimate(&mut c);
+    bench_refine(&mut c);
+    bench_best_merge(&mut c);
+    bench_counting(&mut c);
+    c.finish();
+}

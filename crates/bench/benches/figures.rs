@@ -4,11 +4,11 @@
 
 use std::time::Duration;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sth_platform::bench::{black_box, Bench};
 use sth_bench::micro_ctx;
 use sth_eval::experiments::run_by_id;
 
-fn bench_experiments(c: &mut Criterion) {
+fn bench_experiments(c: &mut Bench) {
     let ctx = micro_ctx();
     let mut g = c.benchmark_group("paper_artifacts");
     g.warm_up_time(Duration::from_millis(500));
@@ -41,5 +41,10 @@ fn bench_experiments(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);
+fn main() {
+    // Anchor the JSON report at the repo root (perf trajectory).
+    let mut c = Bench::new("figures")
+        .output_at(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_figures.json"));
+    bench_experiments(&mut c);
+    c.finish();
+}

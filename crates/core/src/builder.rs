@@ -2,7 +2,6 @@
 
 use std::time::Instant;
 
-use serde::{Deserialize, Serialize};
 use sth_data::Dataset;
 use sth_geometry::Rect;
 use sth_histogram::StHoles;
@@ -13,7 +12,7 @@ use crate::{initialize_histogram, InitConfig};
 
 /// One row of the initialization report — the information Table 4 of the
 /// paper prints for the Sky dataset.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ClusterSummary {
     /// Cluster index in importance order (C0, C1, …).
     pub id: usize,
@@ -31,7 +30,7 @@ pub struct ClusterSummary {
 }
 
 /// Outcome of an initialization run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct InitReport {
     /// Per-cluster summaries, in importance order.
     pub clusters: Vec<ClusterSummary>,

@@ -1,8 +1,6 @@
 //! Turning clusters into initial buckets.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use sth_platform::rng::{Rng, SliceRandom};
 use sth_data::Dataset;
 use sth_histogram::StHoles;
 use sth_index::RangeCounter;
@@ -10,7 +8,7 @@ use sth_mineclus::SubspaceCluster;
 use sth_query::SelfTuning;
 
 /// How a cluster's point set is converted to a rectangle.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BrMode {
     /// The paper's choice: tight bounds in relevant dimensions, full domain
     /// span in unused dimensions (Definition 8). Preserves the subspace
@@ -22,7 +20,7 @@ pub enum BrMode {
 }
 
 /// Order in which the cluster rectangles are fed to the histogram.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum InitOrder {
     /// Descending cluster importance — the paper's recommendation.
     Importance,
@@ -33,7 +31,7 @@ pub enum InitOrder {
 }
 
 /// Initialization parameters.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct InitConfig {
     /// Rectangle representation.
     pub br_mode: BrMode,
@@ -73,7 +71,7 @@ pub fn initialize_histogram(
         InitOrder::Importance => {}
         InitOrder::Reversed => ordered.reverse(),
         InitOrder::Random(seed) => {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             ordered.shuffle(&mut rng);
         }
     }

@@ -17,8 +17,7 @@
 //! uniform noise, matching "each cluster contains 10,000 tuples, another
 //! 2,000 tuples are random noise" for the 2-d case.
 
-use rand::Rng;
-use rand::SeedableRng;
+use sth_platform::rng::Rng;
 
 use crate::{add_uniform_noise, default_domain, Dataset, DatasetBuilder, DOMAIN_HI, DOMAIN_LO};
 
@@ -89,7 +88,7 @@ impl CrossSpec {
     /// Generates the dataset.
     pub fn generate(&self) -> Dataset {
         let domain = default_domain(self.dim);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut b = DatasetBuilder::with_capacity(
             format!("Cross{}d", self.dim),
             domain.clone(),

@@ -1,15 +1,13 @@
 //! The in-memory tuple store.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use sth_platform::rng::{Rng, SliceRandom};
 use sth_geometry::Rect;
 
 /// A column-major, fully materialized multidimensional dataset.
 ///
 /// Column-major layout keeps per-dimension scans (the hot path of the
 /// clustering and of range counting) cache friendly.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Dataset {
     name: String,
     domain: Rect,
@@ -133,7 +131,7 @@ impl Dataset {
         if k >= self.len {
             return self.clone();
         }
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut ids: Vec<usize> = (0..self.len).collect();
         ids.shuffle(&mut rng);
         ids.truncate(k);

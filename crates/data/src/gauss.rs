@@ -6,8 +6,7 @@
 //! not use, its tuples are uniform over the whole domain — which is exactly
 //! what makes the cluster a *subspace* cluster.
 
-use rand::Rng;
-use rand::SeedableRng;
+use sth_platform::rng::Rng;
 
 use crate::rng::{distinct_indices, truncated_normal};
 use crate::{add_uniform_noise, default_domain, Dataset, DatasetBuilder, DOMAIN_HI, DOMAIN_LO};
@@ -92,7 +91,7 @@ impl GaussSpec {
         assert!(self.subspace_dims.0 <= self.subspace_dims.1);
         let domain = default_domain(self.dim);
         let extent = DOMAIN_HI - DOMAIN_LO;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut b =
             DatasetBuilder::with_capacity(format!("Gauss{}d", self.dim), domain.clone(), self.total());
 

@@ -41,11 +41,11 @@ pub fn default_domain(dim: usize) -> Rect {
 }
 
 /// Appends `n` uniform noise tuples over `domain` to `builder`.
-pub fn add_uniform_noise<R: rand::Rng>(
+pub fn add_uniform_noise(
     builder: &mut DatasetBuilder,
     domain: &Rect,
     n: usize,
-    rng: &mut R,
+    rng: &mut sth_platform::rng::Rng,
 ) {
     let dim = domain.ndim();
     let mut row = vec![0.0; dim];
@@ -70,10 +70,9 @@ mod tests {
 
     #[test]
     fn noise_stays_in_domain() {
-        use rand::SeedableRng;
         let domain = default_domain(2);
         let mut b = DatasetBuilder::new("noise", domain.clone());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = sth_platform::rng::Rng::seed_from_u64(7);
         add_uniform_noise(&mut b, &domain, 500, &mut rng);
         let ds = b.finish();
         assert_eq!(ds.len(), 500);

@@ -7,8 +7,7 @@
 //! same character: many subspace clusters of low-to-medium dimensionality
 //! embedded in an 18-d space, plus background noise.
 
-use rand::Rng;
-use rand::SeedableRng;
+use sth_platform::rng::Rng;
 
 use crate::rng::{distinct_indices, truncated_normal};
 use crate::{add_uniform_noise, default_domain, Dataset, DatasetBuilder, DOMAIN_HI, DOMAIN_LO};
@@ -62,7 +61,7 @@ impl ParticleSpec {
     pub fn generate(&self) -> Dataset {
         let domain = default_domain(self.dim);
         let extent = DOMAIN_HI - DOMAIN_LO;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut b =
             DatasetBuilder::with_capacity(format!("Particle{}d", self.dim), domain.clone(), self.total());
         let per_cluster = self.clustered_tuples / self.clusters;

@@ -1,97 +1,8 @@
 //! Random-number helpers shared by the generators.
 //!
-//! `rand 0.8` (the only randomness crate in the approved offline set) ships
-//! uniform sampling but no Gaussian distribution, so we provide a small
-//! Box–Muller implementation here.
+//! The implementation lives in [`sth_platform::rng`]; this module re-exports
+//! it so existing `sth_data::rng::{normal, truncated_normal, ...}` call
+//! sites keep working. See the platform crate for the Box–Muller helpers
+//! and the deterministic xoshiro256++ generator itself (tests included).
 
-use rand::Rng;
-
-/// Draws one sample from `N(mean, std²)` via the Box–Muller transform.
-///
-/// The second value of each Box–Muller pair is intentionally discarded: the
-/// generators are not throughput bound and statelessness keeps every sample
-/// independent of call order.
-pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
-    debug_assert!(std >= 0.0, "standard deviation must be non-negative");
-    // u1 in (0, 1] avoids ln(0).
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
-    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-    mean + std * z
-}
-
-/// Draws a sample from `N(mean, std²)` truncated (by resampling) to
-/// `[lo, hi)`. Falls back to clamping after `max_tries` rejections so the
-/// function always terminates, even for pathological bounds.
-pub fn truncated_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64, lo: f64, hi: f64) -> f64 {
-    const MAX_TRIES: usize = 32;
-    for _ in 0..MAX_TRIES {
-        let v = normal(rng, mean, std);
-        if v >= lo && v < hi {
-            return v;
-        }
-    }
-    normal(rng, mean, std).clamp(lo, hi - (hi - lo) * 1e-12)
-}
-
-/// Picks `k` distinct values from `0..n` (k ≤ n), in sorted order.
-pub fn distinct_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
-    assert!(k <= n, "cannot pick {k} distinct values from 0..{n}");
-    use rand::seq::SliceRandom;
-    let mut all: Vec<usize> = (0..n).collect();
-    all.shuffle(rng);
-    all.truncate(k);
-    all.sort_unstable();
-    all
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rand::SeedableRng;
-
-    #[test]
-    fn normal_moments() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-        let n = 200_000;
-        let (mut sum, mut sumsq) = (0.0, 0.0);
-        for _ in 0..n {
-            let v = normal(&mut rng, 10.0, 3.0);
-            sum += v;
-            sumsq += v * v;
-        }
-        let mean = sum / n as f64;
-        let var = sumsq / n as f64 - mean * mean;
-        assert!((mean - 10.0).abs() < 0.05, "mean off: {mean}");
-        assert!((var.sqrt() - 3.0).abs() < 0.05, "std off: {}", var.sqrt());
-    }
-
-    #[test]
-    fn truncated_normal_respects_bounds() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        for _ in 0..10_000 {
-            let v = truncated_normal(&mut rng, 5.0, 50.0, 0.0, 10.0);
-            assert!((0.0..10.0).contains(&v));
-        }
-    }
-
-    #[test]
-    fn truncated_normal_terminates_on_hopeless_bounds() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        // Mean far outside the admissible window: rejection always fails,
-        // the clamp fallback must kick in.
-        let v = truncated_normal(&mut rng, 1e9, 1.0, 0.0, 1.0);
-        assert!((0.0..1.0).contains(&v));
-    }
-
-    #[test]
-    fn distinct_indices_are_distinct_and_sorted() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        for _ in 0..100 {
-            let picked = distinct_indices(&mut rng, 10, 4);
-            assert_eq!(picked.len(), 4);
-            assert!(picked.windows(2).all(|w| w[0] < w[1]));
-            assert!(picked.iter().all(|&i| i < 10));
-        }
-    }
-}
+pub use sth_platform::rng::{distinct_indices, normal, truncated_normal, Rng, SliceRandom};

@@ -16,8 +16,7 @@
 //!   the sky-coordinate centers, so attribute correlations are local, not
 //!   global.
 
-use rand::Rng;
-use rand::SeedableRng;
+use sth_platform::rng::Rng;
 
 use crate::rng::truncated_normal;
 use crate::{add_uniform_noise, default_domain, Dataset, DatasetBuilder, DOMAIN_HI, DOMAIN_LO};
@@ -108,7 +107,7 @@ impl SkySpec {
         const DIM: usize = 7;
         let domain = default_domain(DIM);
         let extent = DOMAIN_HI - DOMAIN_LO;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let profile: Vec<SkyClusterProfile> = table4_profile()
             .into_iter()
             .map(|c| SkyClusterProfile {

@@ -1,0 +1,88 @@
+//! Determinism contract for the dataset generators: the same spec (same
+//! seed) must produce byte-identical datasets on every run and every
+//! platform, and the exact streams are pinned by golden hashes so an
+//! accidental RNG-stream reordering (an extra draw, a changed draw order,
+//! a different sampler) fails loudly instead of silently shifting every
+//! downstream experiment.
+
+use sth_data::cross::CrossSpec;
+use sth_data::gauss::GaussSpec;
+use sth_data::sky::SkySpec;
+use sth_data::Dataset;
+
+/// FNV-1a over the bit patterns of every coordinate, row-major. Byte-exact:
+/// two datasets hash equal iff all `f64` bits match.
+fn dataset_hash(ds: &Dataset) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for i in 0..ds.len() {
+        for &x in ds.row(i).iter() {
+            mix(x.to_bits());
+        }
+    }
+    h
+}
+
+fn assert_identical(a: &Dataset, b: &Dataset) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.ndim(), b.ndim());
+    for i in 0..a.len() {
+        let (ra, rb) = (a.row(i), b.row(i));
+        for d in 0..a.ndim() {
+            assert_eq!(
+                ra[d].to_bits(),
+                rb[d].to_bits(),
+                "row {i} dim {d}: {} != {}",
+                ra[d],
+                rb[d]
+            );
+        }
+    }
+}
+
+#[test]
+fn cross_is_byte_identical_across_runs() {
+    let a = CrossSpec::cross2d().scaled(0.05).generate();
+    let b = CrossSpec::cross2d().scaled(0.05).generate();
+    assert_identical(&a, &b);
+}
+
+#[test]
+fn gauss_is_byte_identical_across_runs() {
+    let a = GaussSpec::paper().scaled(0.02).generate();
+    let b = GaussSpec::paper().scaled(0.02).generate();
+    assert_identical(&a, &b);
+}
+
+#[test]
+fn sky_is_byte_identical_across_runs() {
+    let a = SkySpec::scaled(0.02).generate();
+    let b = SkySpec::scaled(0.02).generate();
+    assert_identical(&a, &b);
+}
+
+#[test]
+fn golden_hashes_pin_the_generator_streams() {
+    // If one of these changes, the RNG stream feeding the generators moved:
+    // every seeded experiment in the repo changes with it. Only update the
+    // constants for an *intentional* generator/RNG change, and say so in
+    // the commit message.
+    let cross = dataset_hash(&CrossSpec::cross2d().scaled(0.05).generate());
+    let gauss = dataset_hash(&GaussSpec::paper().scaled(0.02).generate());
+    let sky = dataset_hash(&SkySpec::scaled(0.02).generate());
+    assert_eq!(cross, 0x230F_193D_B1BF_35A7, "Cross stream moved");
+    assert_eq!(gauss, 0x602F_4195_BF57_4854, "Gauss stream moved");
+    assert_eq!(sky, 0x02B4_9605_2005_77E2, "Sky stream moved");
+}
+
+#[test]
+fn different_seeds_give_different_data() {
+    let a = CrossSpec { seed: 1, ..CrossSpec::cross2d().scaled(0.05) }.generate();
+    let b = CrossSpec { seed: 2, ..CrossSpec::cross2d().scaled(0.05) }.generate();
+    assert_ne!(dataset_hash(&a), dataset_hash(&b));
+}

@@ -170,37 +170,26 @@ pub fn run_simulation(prep: &PreparedDataset, variant: &Variant, cfg: &RunConfig
     }
 }
 
-/// Runs the cartesian product `variants × bucket_counts` in parallel (one
-/// thread per combination, bounded by the OS scheduler — combinations are
-/// few and long-running).
+/// Runs the cartesian product `variants × bucket_counts` in parallel via
+/// [`sth_platform::par::scope_map`]: jobs are chunked over a bounded set of
+/// scoped threads (`STH_THREADS` overrides the worker count) and results
+/// come back in job order.
 pub fn sweep(
     prep: &PreparedDataset,
     variants: &[Variant],
     bucket_counts: &[usize],
     base: &RunConfig,
 ) -> Vec<RunOutcome> {
-    let mut jobs: Vec<(usize, Variant, usize)> = Vec::new();
-    let mut k = 0;
+    let mut jobs: Vec<(Variant, usize)> = Vec::new();
     for v in variants {
         for &b in bucket_counts {
-            jobs.push((k, v.clone(), b));
-            k += 1;
+            jobs.push((v.clone(), b));
         }
     }
-    let mut results: Vec<Option<RunOutcome>> = vec![None; jobs.len()];
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (idx, v, b) in &jobs {
-            let cfg = RunConfig { buckets: *b, ..base.clone() };
-            let v = v.clone();
-            handles.push((*idx, s.spawn(move |_| run_simulation(prep, &v, &cfg))));
-        }
-        for (idx, h) in handles {
-            results[idx] = Some(h.join().expect("simulation thread panicked"));
-        }
+    sth_platform::par::scope_map(&jobs, |(v, b)| {
+        let cfg = RunConfig { buckets: *b, ..base.clone() };
+        run_simulation(prep, v, &cfg)
     })
-    .expect("crossbeam scope failed");
-    results.into_iter().map(Option::unwrap).collect()
 }
 
 #[cfg(test)]

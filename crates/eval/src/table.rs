@@ -2,10 +2,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A titled table of strings — the common output format of all experiments.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Table/figure title, e.g. `"Fig. 11 — Cross[1%]"`.
     pub title: String,

@@ -1,11 +1,9 @@
 //! One-dimensional half-open intervals.
 
-use serde::{Deserialize, Serialize};
-
 /// A half-open interval `[lo, hi)` on one attribute.
 ///
 /// `lo == hi` denotes the empty interval. Intervals never have `lo > hi`.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Interval {
     lo: f64,
     hi: f64,

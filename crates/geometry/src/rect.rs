@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::Interval;
 
 /// Error returned by the fallible [`Rect`] constructors.
@@ -50,7 +48,7 @@ impl std::error::Error for RectError {}
 ///
 /// `Rect` is the common currency of the whole library: histogram buckets,
 /// range queries and cluster bounding boxes are all `Rect`s.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Rect {
     lo: Box<[f64]>,
     hi: Box<[f64]>,

@@ -1,19 +1,19 @@
 //! Property-based tests for the geometry substrate.
 
-use proptest::prelude::*;
+use sth_platform::check::prelude::*;
 use sth_geometry::{best_shrink, Rect};
 
 /// Strategy producing a valid rectangle in `dim` dimensions with coordinates
 /// in `[-100, 100]`.
 fn rect_strategy(dim: usize) -> impl Strategy<Value = Rect> {
-    proptest::collection::vec((-100.0f64..100.0, 0.0f64..50.0), dim).prop_map(|bounds| {
+    collection::vec((-100.0f64..100.0, 0.0f64..50.0), dim).prop_map(|bounds| {
         let lo: Vec<f64> = bounds.iter().map(|(l, _)| *l).collect();
         let hi: Vec<f64> = bounds.iter().map(|(l, e)| l + e).collect();
         Rect::from_bounds(&lo, &hi)
     })
 }
 
-proptest! {
+check! {
     #[test]
     fn intersection_is_commutative(a in rect_strategy(3), b in rect_strategy(3)) {
         prop_assert_eq!(a.intersection(&b), b.intersection(&a));
@@ -53,7 +53,7 @@ proptest! {
     fn point_in_intersection_is_in_both(
         a in rect_strategy(3),
         b in rect_strategy(3),
-        t in proptest::collection::vec(0.0f64..1.0, 3),
+        t in collection::vec(0.0f64..1.0, 3),
     ) {
         if let Some(i) = a.intersection(&b) {
             // Interpolate a point strictly inside the intersection.

@@ -281,7 +281,7 @@ fn bbox_of(data: &sth_data::Dataset, ids: &[u32]) -> Rect {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use sth_platform::rng::Rng;
     use sth_data::cross::CrossSpec;
     use sth_data::gauss::GaussSpec;
 
@@ -303,10 +303,10 @@ mod tests {
         let ds = CrossSpec::cross2d().scaled(0.05).generate();
         let t = KdCountTree::build(&ds);
         assert_eq!(t.count(ds.domain()), ds.len() as u64);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let mut rng = Rng::seed_from_u64(77);
         for _ in 0..200 {
-            let lo = [rng.gen_range(0.0..900.0), rng.gen_range(0.0..900.0)];
-            let hi = [lo[0] + rng.gen_range(1.0..300.0), lo[1] + rng.gen_range(1.0..300.0)];
+            let lo = [rng.gen_range(0.0f64..900.0), rng.gen_range(0.0f64..900.0)];
+            let hi = [lo[0] + rng.gen_range(1.0f64..300.0), lo[1] + rng.gen_range(1.0f64..300.0)];
             let r = Rect::from_bounds(&lo, &[hi[0].min(1000.0), hi[1].min(1000.0)]);
             assert_eq!(t.count(&r), ds.count_in_scan(&r), "mismatch on {r}");
         }
@@ -316,13 +316,13 @@ mod tests {
     fn matches_scan_on_gauss_6d() {
         let ds = GaussSpec::paper().scaled(0.02).generate();
         let t = KdCountTree::build(&ds);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut rng = Rng::seed_from_u64(13);
         for _ in 0..100 {
             let mut lo = vec![0.0f64; 6];
             let mut hi = vec![0.0f64; 6];
             for d in 0..6 {
                 lo[d] = rng.gen_range(0.0..800.0);
-                hi[d] = (lo[d] + rng.gen_range(50.0..500.0)).min(1000.0);
+                hi[d] = (lo[d] + rng.gen_range(50.0f64..500.0)).min(1000.0);
             }
             let r = Rect::from_bounds(&lo, &hi);
             assert_eq!(t.count(&r), ds.count_in_scan(&r), "mismatch on {r}");
@@ -334,7 +334,7 @@ mod tests {
         // The experiment regime: boxes spanning >50% of each dimension.
         let ds = GaussSpec::paper().scaled(0.05).generate();
         let t = KdCountTree::build(&ds);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rng = Rng::seed_from_u64(99);
         for _ in 0..30 {
             let mut lo = vec![0.0f64; 6];
             let mut hi = vec![0.0f64; 6];

@@ -5,13 +5,12 @@
 
 use std::collections::{HashMap, HashSet};
 
-use serde::{Deserialize, Serialize};
 use sth_data::Dataset;
 
 use crate::{mu, DimSet, SubspaceCluster, SubspaceClustering};
 
 /// CLIQUE parameters.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CliqueConfig {
     /// Grid resolution ξ: cells per dimension.
     pub xi: usize,

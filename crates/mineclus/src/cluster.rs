@@ -1,6 +1,5 @@
 //! The common cluster output type and its rectangle representations.
 
-use serde::{Deserialize, Serialize};
 use sth_data::Dataset;
 use sth_geometry::Rect;
 
@@ -11,7 +10,7 @@ use crate::DimSet;
 /// histogram initialization (paper §4.1: "if we use the important clusters as
 /// first queries in the initialization, we have a better estimation
 /// quality").
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SubspaceCluster {
     /// Row ids (into the clustered dataset) of the member tuples.
     pub points: Vec<u32>,

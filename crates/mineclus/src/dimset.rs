@@ -2,12 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A set of dimension indices, stored as a bitmask. Supports up to 64
 /// dimensions — far beyond the 4–5 dimensions multidimensional histograms
 /// scale to (paper §3.3) and the 18-d tech-report dataset.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DimSet(u64);
 
 impl DimSet {

@@ -6,15 +6,13 @@
 //! Many trials are drawn; the best cluster under µ wins. Included as an
 //! alternative initializer for the `ablation_initializer` bench.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use sth_platform::rng::{Rng, SliceRandom};
 use sth_data::Dataset;
 
 use crate::{mu, DimSet, SubspaceCluster, SubspaceClustering};
 
 /// DOC parameters.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DocConfig {
     /// Minimal support fraction α.
     pub alpha: f64,
@@ -71,7 +69,7 @@ impl SubspaceClustering for Doc {
             return Vec::new();
         }
         let min_support = ((self.config.alpha * n as f64).ceil() as usize).max(2);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
+        let mut rng = Rng::seed_from_u64(self.config.seed);
         let mut active: Vec<u32> = (0..n as u32).collect();
         let mut clusters = Vec::new();
 

@@ -1,8 +1,6 @@
 //! The MineClus algorithm.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use sth_platform::rng::{Rng, SliceRandom};
 use sth_data::Dataset;
 
 use crate::mining::{mine_best_dimset, supporting_points, MinedSet};
@@ -14,7 +12,7 @@ use crate::{SubspaceCluster, SubspaceClustering};
 /// * `beta` — size-vs-dimensionality trade-off of the quality function µ.
 /// * `width` — per-dimension half-width of the cluster box around a medoid
 ///   ("used to determine the minimal width of the clusters").
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MineClusConfig {
     /// Minimal support fraction α (of the full dataset size).
     pub alpha: f64,
@@ -121,7 +119,7 @@ impl MineClus {
         data: &Dataset,
         active: &[u32],
         min_support: usize,
-        rng: &mut rand::rngs::StdRng,
+        rng: &mut Rng,
     ) -> Option<(MinedSet, Vec<u32>)> {
         let mut best: Option<(MinedSet, Vec<u32>)> = None;
         let trials: Vec<u32> = {
@@ -159,7 +157,7 @@ impl SubspaceClustering for MineClus {
             return Vec::new();
         }
         let min_support = ((self.config.alpha * n as f64).ceil() as usize).max(2);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
+        let mut rng = Rng::seed_from_u64(self.config.seed);
         let mut active: Vec<u32> = (0..n as u32).collect();
         let mut clusters = Vec::new();
         while clusters.len() < self.config.max_clusters && active.len() >= min_support {

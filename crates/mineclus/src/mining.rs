@@ -154,8 +154,8 @@ mod tests {
     #[test]
     fn exhaustive_correctness_small() {
         // Compare against brute force over all dimension subsets.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        use sth_platform::rng::Rng;
+        let mut rng = Rng::seed_from_u64(99);
         for _ in 0..20 {
             let ndim = 5;
             let masks: Vec<u64> = (0..60).map(|_| rng.gen_range(0u64..32)).collect();

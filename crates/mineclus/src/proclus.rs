@@ -15,15 +15,13 @@
 //!    distance, and replace the medoid of the worst cluster;
 //! 3. refine dimensions once on the final assignment and drop outliers.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use sth_platform::rng::{Rng, SliceRandom};
 use sth_data::Dataset;
 
 use crate::{mu, DimSet, SubspaceCluster, SubspaceClustering};
 
 /// PROCLUS parameters.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ProclusConfig {
     /// Number of clusters k.
     pub k: usize,
@@ -83,10 +81,9 @@ impl Proclus {
     fn spread_candidates(
         &self,
         data: &Dataset,
-        rng: &mut rand::rngs::StdRng,
+        rng: &mut Rng,
         count: usize,
     ) -> Vec<usize> {
-        use rand::Rng as _;
         let n = data.len();
         let mut chosen = vec![rng.gen_range(0..n)];
         let mut dist: Vec<f64> = (0..n)
@@ -210,7 +207,7 @@ impl SubspaceClustering for Proclus {
         if n == 0 || k == 0 || data.ndim() < 2 {
             return Vec::new();
         }
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
+        let mut rng = Rng::seed_from_u64(self.config.seed);
         let candidates = self.spread_candidates(data, &mut rng, self.config.candidate_factor * k);
 
         let mut medoids: Vec<usize> = candidates.iter().copied().take(k).collect();

@@ -1,6 +1,6 @@
 //! Property tests over the clustering algorithms' output contracts.
 
-use proptest::prelude::*;
+use sth_platform::check::prelude::*;
 use sth_data::Dataset;
 use sth_geometry::Rect;
 use sth_mineclus::{
@@ -25,8 +25,8 @@ fn dataset(points: &[(f64, f64, f64)]) -> Dataset {
 fn blob_strategy() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
     (
         (100.0f64..900.0, 100.0f64..900.0, 100.0f64..900.0),
-        proptest::collection::vec((-40.0f64..40.0, -40.0f64..40.0, -40.0f64..40.0), 40..150),
-        proptest::collection::vec((0.0f64..1000.0, 0.0f64..1000.0, 0.0f64..1000.0), 0..40),
+        collection::vec((-40.0f64..40.0, -40.0f64..40.0, -40.0f64..40.0), 40..150),
+        collection::vec((0.0f64..1000.0, 0.0f64..1000.0, 0.0f64..1000.0), 0..40),
     )
         .prop_map(|(center, offsets, noise)| {
             let mut pts: Vec<(f64, f64, f64)> = offsets
@@ -71,8 +71,8 @@ fn check_contracts(alg: &dyn SubspaceClustering, ds: &Dataset) -> Result<(), Tes
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+check! {
+    cases = 16;
 
     #[test]
     fn mineclus_contracts(points in blob_strategy()) {

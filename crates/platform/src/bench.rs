@@ -1,0 +1,389 @@
+//! A warmup + sampling micro-benchmark harness (the in-tree `criterion`
+//! replacement).
+//!
+//! The call shape mirrors what the bench files already used:
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use sth_platform::bench::{black_box, Bench};
+//!
+//! let mut c = Bench::new("core_ops");
+//! let mut g = c.benchmark_group("estimate");
+//! g.warm_up_time(Duration::from_millis(500));
+//! g.measurement_time(Duration::from_secs(3));
+//! g.sample_size(10);
+//! g.bench_function("est_1d_200", |b| b.iter(|| black_box(1 + 1)));
+//! g.finish();
+//! c.finish();
+//! ```
+//!
+//! Each benchmark runs a warmup phase, sizes iterations-per-sample from
+//! the warmup rate, takes `sample_size` timed samples, and reports
+//! median / p95 / mean / min per-iteration nanoseconds. [`Bench::finish`]
+//! prints a summary table and writes the whole suite as JSON (for the
+//! repo-root `BENCH_*.json` perf trajectory).
+//!
+//! Set `STH_BENCH_FAST=1` to shrink warmup/measurement times ~20× for
+//! smoke runs.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Stats {
+    /// Group name ("" for ungrouped benchmarks).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub name: String,
+    /// Median per-iteration time.
+    pub median_ns: f64,
+    /// 95th-percentile per-iteration time.
+    pub p95_ns: f64,
+    /// Mean per-iteration time.
+    pub mean_ns: f64,
+    /// Fastest sample's per-iteration time.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Config {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Config {
+    fn effective(self) -> Config {
+        if std::env::var_os("STH_BENCH_FAST").is_some() {
+            Config {
+                warm_up: self.warm_up / 20,
+                measurement: self.measurement / 20,
+                sample_size: self.sample_size.min(5),
+            }
+        } else {
+            self
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A benchmark suite: owns configuration, collects [`Stats`], and writes
+/// the JSON report on [`Bench::finish`].
+pub struct Bench {
+    suite: String,
+    out_path: Option<PathBuf>,
+    results: Vec<Stats>,
+}
+
+impl Bench {
+    /// Creates a suite named `suite`. By default the JSON report goes to
+    /// `BENCH_<suite>.json` in the current directory; override with
+    /// [`Bench::output_at`].
+    pub fn new(suite: impl Into<String>) -> Self {
+        Bench { suite: suite.into(), out_path: None, results: Vec::new() }
+    }
+
+    /// Sets the JSON report path (builder-style).
+    pub fn output_at(mut self, path: impl Into<PathBuf>) -> Self {
+        self.out_path = Some(path.into());
+        self
+    }
+
+    /// Opens a named group of benchmarks sharing timing configuration.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group { bench: self, name: name.into(), config: Config::default() }
+    }
+
+    /// Runs a single ungrouped benchmark with default configuration.
+    pub fn bench_function(&mut self, name: impl Into<String>, routine: impl FnMut(&mut Bencher)) {
+        let stats = run_one(String::new(), name.into(), Config::default(), routine);
+        eprintln!("{}", summary_line(&stats));
+        self.results.push(stats);
+    }
+
+    /// Prints the summary table and writes the JSON report.
+    pub fn finish(self) {
+        let path = self
+            .out_path
+            .unwrap_or_else(|| PathBuf::from(format!("BENCH_{}.json", self.suite)));
+        let json = to_json(&self.suite, &self.results);
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!("bench[{}]: wrote {}", self.suite, path.display()),
+            Err(e) => eprintln!("bench[{}]: failed to write {}: {e}", self.suite, path.display()),
+        }
+    }
+
+    /// Completed results so far (mainly for tests).
+    pub fn results(&self) -> &[Stats] {
+        &self.results
+    }
+}
+
+/// A group of benchmarks sharing warmup/measurement/sample configuration.
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    name: String,
+    config: Config,
+}
+
+impl Group<'_> {
+    /// Sets the warmup duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Sets the total time budget the samples should roughly fill.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Sets how many timed samples to take.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark. `routine` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] exactly once with the code under test.
+    pub fn bench_function(&mut self, id: impl Into<String>, routine: impl FnMut(&mut Bencher)) {
+        let stats = run_one(self.name.clone(), id.into(), self.config, routine);
+        eprintln!("{}", summary_line(&stats));
+        self.bench.results.push(stats);
+    }
+
+    /// Ends the group. (Kept for call-site symmetry; dropping works too.)
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark routine; [`Bencher::iter`] performs the
+/// warmup and sampling around the closure under test.
+pub struct Bencher {
+    config: Config,
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`: warms up for the configured duration, derives an
+    /// iteration count per sample from the warmup rate, then records the
+    /// configured number of samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let cfg = self.config;
+        // Warmup: run until the warmup budget elapses, tracking the rate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut batch: u64 = 1;
+        loop {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            warm_iters += batch;
+            let elapsed = warm_start.elapsed();
+            if elapsed >= cfg.warm_up {
+                break;
+            }
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        // Size each sample so all samples together fill ~measurement.
+        let sample_budget_ns =
+            cfg.measurement.as_nanos() as f64 / cfg.sample_size as f64;
+        let iters = ((sample_budget_ns / per_iter.max(1.0)) as u64).max(1);
+        self.iters_per_sample = iters;
+        self.samples_ns.clear();
+        for _ in 0..cfg.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / iters as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+fn run_one(
+    group: String,
+    name: String,
+    config: Config,
+    mut routine: impl FnMut(&mut Bencher),
+) -> Stats {
+    let mut b = Bencher {
+        config: config.effective(),
+        samples_ns: Vec::new(),
+        iters_per_sample: 0,
+    };
+    routine(&mut b);
+    assert!(
+        !b.samples_ns.is_empty(),
+        "benchmark `{group}/{name}` never called Bencher::iter"
+    );
+    let mut sorted = b.samples_ns.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len();
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    };
+    let p95 = sorted[(((n as f64) * 0.95).ceil() as usize).clamp(1, n) - 1];
+    let mean = sorted.iter().sum::<f64>() / n as f64;
+    Stats {
+        group,
+        name,
+        median_ns: median,
+        p95_ns: p95,
+        mean_ns: mean,
+        min_ns: sorted[0],
+        samples: n,
+        iters_per_sample: b.iters_per_sample,
+    }
+}
+
+fn summary_line(s: &Stats) -> String {
+    let id = if s.group.is_empty() {
+        s.name.clone()
+    } else {
+        format!("{}/{}", s.group, s.name)
+    };
+    format!(
+        "{id:<40} median {:>12}  p95 {:>12}  ({} samples x {} iters)",
+        format_ns(s.median_ns),
+        format_ns(s.p95_ns),
+        s.samples,
+        s.iters_per_sample,
+    )
+}
+
+/// Formats nanoseconds with a human-friendly unit.
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn to_json(suite: &str, results: &[Stats]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"suite\": \"{}\",", escape(suite));
+    let _ = writeln!(s, "  \"unit\": \"ns_per_iter\",");
+    let _ = writeln!(s, "  \"results\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"median_ns\": {:.1}, \
+             \"p95_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
+             \"samples\": {}, \"iters_per_sample\": {}}}{comma}",
+            escape(&r.group),
+            escape(&r.name),
+            r.median_ns,
+            r.p95_ns,
+            r.mean_ns,
+            r.min_ns,
+            r.samples,
+            r.iters_per_sample,
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast(cfg: &mut Group<'_>) {
+        cfg.warm_up_time(Duration::from_millis(5));
+        cfg.measurement_time(Duration::from_millis(20));
+        cfg.sample_size(5);
+    }
+
+    #[test]
+    fn produces_plausible_stats() {
+        let mut c = Bench::new("selftest");
+        let mut g = c.benchmark_group("g");
+        fast(&mut g);
+        g.bench_function("add", |b| b.iter(|| black_box(3u64).wrapping_mul(7)));
+        g.finish();
+        let s = &c.results()[0];
+        assert_eq!(s.group, "g");
+        assert_eq!(s.name, "add");
+        assert_eq!(s.samples, 5);
+        assert!(s.iters_per_sample >= 1);
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.median_ns <= s.p95_ns + 1e-9);
+        assert!(s.median_ns > 0.0);
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let stats = Stats {
+            group: "estimate".into(),
+            name: "est_1d_200".into(),
+            median_ns: 1234.5,
+            p95_ns: 2000.0,
+            mean_ns: 1300.0,
+            min_ns: 1100.0,
+            samples: 10,
+            iters_per_sample: 100,
+        };
+        let json = to_json("core_ops", &[stats]);
+        assert!(json.contains("\"suite\": \"core_ops\""));
+        assert!(json.contains("\"median_ns\": 1234.5"));
+        assert!(json.contains("\"group\": \"estimate\""));
+        // Balanced braces/brackets as a cheap structural check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(12_500.0), "12.50 µs");
+        assert_eq!(format_ns(12_500_000.0), "12.50 ms");
+        assert_eq!(format_ns(2_500_000_000.0), "2.500 s");
+    }
+
+    #[test]
+    fn escape_handles_quotes() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -1,0 +1,36 @@
+//! # sth-platform — the hermetic substrate under every `sth` crate
+//!
+//! The workspace builds with the network disabled: no crates.io
+//! dependencies anywhere. This crate supplies the four pieces of
+//! infrastructure the rest of the system previously pulled from external
+//! crates, rebuilt on `std` alone:
+//!
+//! * [`rng`] — a seedable xoshiro256++ PRNG (splitmix64-expanded seeds)
+//!   with uniform ranges, Box–Muller Gaussians, slice shuffling, and
+//!   *fork-by-stream* child generators for worker-count-independent
+//!   parallel determinism. Replaces `rand`.
+//! * [`check`] — a property-testing harness: composable strategies
+//!   (ranges, tuples, vectors, `prop_map`), configurable case counts,
+//!   and seed-reported shrinking. Replaces `proptest`.
+//! * [`bench`] — a warmup + sampling timing harness with median/p95
+//!   reporting and JSON output for the `BENCH_*.json` perf trajectory.
+//!   Replaces `criterion`.
+//! * [`par`] — scoped-parallelism helpers over [`std::thread::scope`]:
+//!   chunked fan-out with a worker-count heuristic. Replaces
+//!   `crossbeam::thread::scope`.
+//!
+//! ## Determinism contract
+//!
+//! Every random stream in the workspace flows through [`rng::Rng`], which
+//! is deterministic in its seed on every platform (pure integer
+//! arithmetic, no OS entropy, no pointer-order dependence). Parallel code
+//! must *fork* one child stream per work item with [`rng::Rng::fork`] —
+//! keyed by the item's index, not the worker's — so results are
+//! byte-identical regardless of how many threads execute the fan-out.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod check;
+pub mod par;
+pub mod rng;

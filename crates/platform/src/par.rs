@@ -1,0 +1,138 @@
+//! Scoped-parallelism helpers over [`std::thread::scope`].
+//!
+//! The one pattern the workspace needs: fan a slice of independent work
+//! items out across a bounded set of OS threads and collect the results
+//! *in input order*. Items are split into at most [`worker_count`]
+//! contiguous chunks, one scoped thread per chunk, so thread-spawn cost
+//! is O(workers), not O(items).
+//!
+//! Determinism: the mapping function receives the item (and, via
+//! [`scope_map_indexed`], its index) — never a worker id. Combined with
+//! [`crate::rng::Rng::fork`] keyed by item index, results are
+//! byte-identical for any thread count, including `STH_THREADS=1`.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use for fan-out.
+///
+/// Honors the `STH_THREADS` environment variable when set to a positive
+/// integer; otherwise uses [`std::thread::available_parallelism`],
+/// falling back to 1 when that is unavailable.
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("STH_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+///
+/// Splits `items` into at most [`worker_count`] contiguous chunks and
+/// runs each chunk on its own scoped thread. With one item (or one
+/// worker) this degrades to a plain sequential map with no spawn.
+pub fn scope_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    scope_map_indexed(items, |_, item| f(item))
+}
+
+/// Like [`scope_map`], but `f` also receives each item's index in
+/// `items` — the key to use when forking per-item RNG streams.
+pub fn scope_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count().min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    // Ceil-divide so every chunk is non-empty and sizes differ by ≤ 1.
+    let chunk = n.div_ceil(workers);
+    let mut results: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                let f = &f;
+                scope.spawn(move || {
+                    let base = ci * chunk;
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(j, t)| f(base + j, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in &mut results {
+        out.append(part);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = scope_map(&items, |x| x * 3);
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn indexed_variant_reports_true_indices() {
+        let items: Vec<char> = "abcdefghij".chars().collect();
+        let out = scope_map_indexed(&items, |i, c| (i, *c));
+        for (i, (idx, c)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*c, items[i]);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(scope_map(&empty, |x| *x).is_empty());
+        assert_eq!(scope_map(&[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn forked_streams_match_sequential_reference() {
+        // The determinism contract: per-item forked RNG output must not
+        // depend on how items are distributed over workers.
+        use crate::rng::Rng;
+        let root = Rng::seed_from_u64(42);
+        let items: Vec<usize> = (0..64).collect();
+        let parallel: Vec<u64> = scope_map_indexed(&items, |i, _| {
+            let mut child = root.fork(i as u64);
+            child.next_u64()
+        });
+        let sequential: Vec<u64> = (0..64).map(|i| root.fork(i as u64).next_u64()).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+}

@@ -1,13 +1,12 @@
 //! Query feedback records.
 
-use serde::{Deserialize, Serialize};
 use sth_index::RangeCounter;
 
 use crate::{RangeQuery, Workload};
 
 /// The observable outcome of one executed query: the predicate and its true
 /// result cardinality.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct QueryFeedback {
     /// The executed query.
     pub query: RangeQuery,

@@ -1,15 +1,12 @@
 //! Query and workload generation.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use sth_platform::rng::{Rng, SliceRandom};
 use sth_geometry::Rect;
 use sth_data::Dataset;
 
 /// A rectangular range predicate, e.g. the `WHERE` clause
 /// `a0 BETWEEN lo0 AND hi0 AND a1 BETWEEN lo1 AND hi1 ...`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RangeQuery {
     rect: Rect,
 }
@@ -63,7 +60,7 @@ impl RangeQuery {
 }
 
 /// How query centers are drawn.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CenterDistribution {
     /// Uniform over the domain (the paper's default).
     Uniform,
@@ -87,7 +84,7 @@ pub enum CenterDistribution {
 /// let (train, sim) = workload.split_train(1_000);
 /// assert_eq!((train.len(), sim.len()), (1_000, 1_000));
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct WorkloadSpec {
     /// Number of queries.
     pub count: usize,
@@ -112,7 +109,7 @@ impl WorkloadSpec {
     pub fn generate(&self, domain: &Rect, data: Option<&Dataset>) -> Workload {
         assert!(self.volume_fraction > 0.0 && self.volume_fraction <= 1.0);
         let dim = domain.ndim();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         // Fixed-volume hyper-cube in normalized coordinates: each dimension
         // spans the same fraction s of its extent, with s^dim = volume_frac.
         let side_frac = self.volume_fraction.powf(1.0 / dim as f64);
@@ -140,7 +137,7 @@ impl WorkloadSpec {
 }
 
 /// An ordered sequence of queries.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Workload {
     queries: Vec<RangeQuery>,
 }
@@ -169,7 +166,7 @@ impl Workload {
     /// A permutation `π(W)` of this workload (Definition 1 of the paper):
     /// same queries, different order, deterministic in `seed`.
     pub fn permuted(&self, seed: u64) -> Workload {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut queries = self.queries.clone();
         queries.shuffle(&mut rng);
         Workload { queries }

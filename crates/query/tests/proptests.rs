@@ -1,11 +1,11 @@
 //! Property tests for workload generation.
 
-use proptest::prelude::*;
+use sth_platform::check::prelude::*;
 use sth_geometry::Rect;
 use sth_query::{CenterDistribution, RangeQuery, WorkloadSpec};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+check! {
+    cases = 64;
 
     /// Every generated query has exactly the requested volume fraction and
     /// fits inside the domain, for arbitrary domains and fractions.

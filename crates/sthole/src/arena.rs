@@ -1,6 +1,5 @@
 //! Slotted bucket storage.
 
-use serde::{Deserialize, Serialize};
 use sth_geometry::Rect;
 
 /// Index of a bucket inside the arena. Stable across unrelated insertions
@@ -12,7 +11,7 @@ pub type BucketId = usize;
 /// `freq` counts the tuples in the bucket's *own region*: the box minus the
 /// boxes of the children. Children boxes are pairwise disjoint and contained
 /// in the parent box.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Bucket {
     /// Bounding box of the bucket (children included).
     pub rect: Rect,
@@ -32,7 +31,7 @@ impl Bucket {
 }
 
 /// Slotted arena of buckets with recycled ids.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct BucketArena {
     slots: Vec<Option<Bucket>>,
     free: Vec<BucketId>,

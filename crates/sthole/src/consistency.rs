@@ -20,7 +20,6 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
 use sth_geometry::Rect;
 use sth_index::RangeCounter;
 use sth_query::{CardinalityEstimator, SelfTuning};
@@ -28,7 +27,7 @@ use sth_query::{CardinalityEstimator, SelfTuning};
 use crate::{BucketId, StHoles};
 
 /// Configuration for [`ConsistentStHoles`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ConsistencyConfig {
     /// Sliding-window size: how many recent feedback constraints to keep.
     ///
@@ -52,7 +51,7 @@ impl Default for ConsistencyConfig {
 
 /// STHoles + a sliding window of feedback constraints enforced by iterative
 /// proportional fitting.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ConsistentStHoles {
     hist: StHoles,
     config: ConsistencyConfig,

@@ -1,6 +1,5 @@
 //! The histogram proper: construction, estimation, invariants.
 
-use serde::{Deserialize, Serialize};
 use sth_geometry::Rect;
 use sth_index::RangeCounter;
 use sth_query::{CardinalityEstimator, SelfTuning};
@@ -9,7 +8,7 @@ use crate::{Bucket, BucketArena, BucketId};
 
 /// Which merge shapes the compaction pass may use. STHoles uses both;
 /// the restricted variants exist for the `ablation_merge_policy` bench.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MergePolicy {
     /// Parent–child and sibling–sibling merges (the paper's algorithm).
     All,
@@ -21,7 +20,7 @@ pub enum MergePolicy {
 }
 
 /// Tuning knobs for [`StHoles`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SthConfig {
     /// Maximum number of buckets, *excluding* the fixed root (the paper's
     /// bucket budget: "when we say that the bucket limit is one bucket we
@@ -77,7 +76,7 @@ impl SthConfig {
 /// hist.refine(&q, &ResultSetCounter::new(rows));
 /// assert!((hist.estimate(&q) - 10.0).abs() < 1e-9);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct StHoles {
     pub(crate) arena: BucketArena,
     pub(crate) root: BucketId,
@@ -87,7 +86,6 @@ pub struct StHoles {
     domain: Rect,
     /// Per-parent cache of the cheapest merges below that parent. Pure
     /// acceleration state: rebuilt lazily, skipped by serialization.
-    #[serde(skip)]
     pub(crate) merge_cache: std::collections::HashMap<BucketId, crate::merge::ParentMerges>,
 }
 
@@ -446,10 +444,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn arena_clone_roundtrip() {
         let h = fig1();
-        // Serialize via serde's derived impls through a generic transcode:
-        // build a second histogram from the serialized bucket arena.
+        // Rebuild a second histogram from a cloned bucket arena and check
+        // the two agree.
         let arena_clone = h.arena.clone();
         let h2 = StHoles {
             arena: arena_clone,

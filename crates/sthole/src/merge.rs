@@ -11,13 +11,12 @@
 //!   enclosed (the enclosed ones — *participants* — become children of the
 //!   merged bucket, cf. Fig. 3 of the paper).
 
-use serde::{Deserialize, Serialize};
 use sth_geometry::Rect;
 
 use crate::{Bucket, BucketId, StHoles};
 
 /// A concrete merge to apply.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum MergeOp {
     /// Fold `child` into `parent`.
     ParentChild {

@@ -2,12 +2,10 @@
 
 use std::fmt::Write as _;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{BucketId, StHoles};
 
 /// Summary statistics of a histogram's bucket tree.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HistogramStats {
     /// Buckets excluding the root.
     pub buckets: usize,

@@ -1,7 +1,7 @@
 //! Property tests for binary persistence: any trained histogram survives a
 //! roundtrip with identical estimates, and continues to learn afterwards.
 
-use proptest::prelude::*;
+use sth_platform::check::prelude::*;
 use sth_data::Dataset;
 use sth_geometry::Rect;
 use sth_histogram::StHoles;
@@ -20,14 +20,14 @@ fn query_strategy() -> impl Strategy<Value = Rect> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+check! {
+    cases = 48;
 
     #[test]
     fn roundtrip_is_estimate_identical(
-        points in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 10..120),
-        queries in proptest::collection::vec(query_strategy(), 0..25),
-        probes in proptest::collection::vec(query_strategy(), 1..10),
+        points in collection::vec((0.0f64..100.0, 0.0f64..100.0), 10..120),
+        queries in collection::vec(query_strategy(), 0..25),
+        probes in collection::vec(query_strategy(), 1..10),
         budget in 1usize..15,
     ) {
         let ds = dataset(&points);
@@ -49,9 +49,9 @@ proptest! {
 
     #[test]
     fn decoded_histogram_keeps_learning_soundly(
-        points in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 10..80),
-        pre in proptest::collection::vec(query_strategy(), 0..10),
-        post in proptest::collection::vec(query_strategy(), 1..10),
+        points in collection::vec((0.0f64..100.0, 0.0f64..100.0), 10..80),
+        pre in collection::vec(query_strategy(), 0..10),
+        post in collection::vec(query_strategy(), 1..10),
     ) {
         let ds = dataset(&points);
         let counter = ScanCounter::new(&ds);

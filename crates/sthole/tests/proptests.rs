@@ -1,7 +1,7 @@
 //! Property-based tests: the bucket tree stays structurally sound under
 //! arbitrary query workloads, and estimation behaves like a measure.
 
-use proptest::prelude::*;
+use sth_platform::check::prelude::*;
 use sth_data::Dataset;
 use sth_geometry::Rect;
 use sth_histogram::StHoles;
@@ -25,13 +25,13 @@ fn query_strategy() -> impl Strategy<Value = Rect> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+check! {
+    cases = 64;
 
     #[test]
     fn invariants_hold_under_random_workloads(
-        points in proptest::collection::vec(point_strategy(), 20..200),
-        queries in proptest::collection::vec(query_strategy(), 1..40),
+        points in collection::vec(point_strategy(), 20..200),
+        queries in collection::vec(query_strategy(), 1..40),
         budget in 1usize..12,
     ) {
         let ds = dataset(&points);
@@ -46,9 +46,9 @@ proptest! {
 
     #[test]
     fn estimates_are_finite_and_nonnegative(
-        points in proptest::collection::vec(point_strategy(), 20..100),
-        queries in proptest::collection::vec(query_strategy(), 1..20),
-        probes in proptest::collection::vec(query_strategy(), 1..20),
+        points in collection::vec(point_strategy(), 20..100),
+        queries in collection::vec(query_strategy(), 1..20),
+        probes in collection::vec(query_strategy(), 1..20),
     ) {
         let ds = dataset(&points);
         let counter = ScanCounter::new(&ds);
@@ -68,8 +68,8 @@ proptest! {
 
     #[test]
     fn total_mass_is_preserved(
-        points in proptest::collection::vec(point_strategy(), 20..100),
-        queries in proptest::collection::vec(query_strategy(), 1..30),
+        points in collection::vec(point_strategy(), 20..100),
+        queries in collection::vec(query_strategy(), 1..30),
     ) {
         let ds = dataset(&points);
         let counter = ScanCounter::new(&ds);
@@ -90,8 +90,8 @@ proptest! {
 
     #[test]
     fn last_query_is_answered_exactly_when_budget_allows(
-        points in proptest::collection::vec(point_strategy(), 20..150),
-        queries in proptest::collection::vec(query_strategy(), 1..10),
+        points in collection::vec(point_strategy(), 20..150),
+        queries in collection::vec(query_strategy(), 1..10),
     ) {
         // With a generous budget, the bucket drilled for the most recent
         // query must answer that query exactly (its holes partition q).
@@ -113,8 +113,8 @@ proptest! {
 
     #[test]
     fn estimation_is_monotone_in_query_box(
-        points in proptest::collection::vec(point_strategy(), 20..100),
-        queries in proptest::collection::vec(query_strategy(), 1..15),
+        points in collection::vec(point_strategy(), 20..100),
+        queries in collection::vec(query_strategy(), 1..15),
         probe in query_strategy(),
     ) {
         let ds = dataset(&points);

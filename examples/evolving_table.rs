@@ -34,13 +34,12 @@ fn main() {
     // move to 1/4 and 3/4 of the domain (fresh seed, different geometry).
     let new_data = {
         use sth::data::{add_uniform_noise, DatasetBuilder};
-        use rand::SeedableRng;
+        use sth::platform::rng::Rng;
         let domain = Rect::cube(2, 0.0, 1000.0);
         let mut b = DatasetBuilder::new("shifted-cross", domain.clone());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0xE0E0);
+        let mut rng = Rng::seed_from_u64(0xE0E0);
         for (cx, horizontal) in [(250.0, false), (750.0, true)] {
             for _ in 0..2500 {
-                use rand::Rng;
                 let band = cx - 20.0 + rng.gen::<f64>() * 40.0;
                 let span = rng.gen::<f64>() * 1000.0;
                 if horizontal {

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run exactly as CI would: fully offline.
+#
+# The workspace has a hermetic-build policy (see DESIGN.md): intra-workspace
+# path dependencies only, so --offline must never be the reason a build
+# fails. Any network access during this script is a regression.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo build --examples --offline
+
+echo "verify: OK"

@@ -47,6 +47,7 @@ pub use sth_geometry as geometry;
 pub use sth_histogram as histogram;
 pub use sth_index as index;
 pub use sth_mineclus as mineclus;
+pub use sth_platform as platform;
 pub use sth_query as query;
 
 /// The most common imports, re-exported flat.
