@@ -65,6 +65,52 @@ fn bench_refine(c: &mut Bench) {
     g.finish();
 }
 
+fn bench_refine_steady(c: &mut Bench) {
+    // Steady state: the histogram is already at budget, so each refine is
+    // one drill pass plus enough merges to get back under budget — the
+    // per-query cost once the simulation loop has warmed up (bench_refine
+    // measures the cold ramp-up instead).
+    let prep = cross_fixture();
+    let wl = WorkloadSpec { count: 2_000, ..WorkloadSpec::paper(0.01, 7) }
+        .generate(prep.data.domain(), None);
+    let mut g = c.benchmark_group("refine_steady");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    for buckets in [50usize, 250] {
+        let (mut h, _) = trained_histogram(buckets);
+        g.bench_function(format!("budget_{buckets}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = wl.queries()[i % wl.len()].rect();
+                i += 1;
+                h.refine(q, &*prep.index);
+                black_box(h.bucket_count())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_traversal(c: &mut Bench) {
+    // The hull-gated tree walk behind both estimation and drilling.
+    let mut g = c.benchmark_group("traversal");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for buckets in [50usize, 250] {
+        let (h, probes) = trained_histogram(buckets);
+        g.bench_function(format!("buckets_intersecting_{buckets}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &probes[i % probes.len()];
+                i += 1;
+                black_box(h.buckets_intersecting(q).len())
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_best_merge(c: &mut Bench) {
     let (mut h, _) = trained_histogram(250);
     c.bench_function("best_merge_scan_250", |b| b.iter(|| black_box(h.best_merge())));
@@ -108,6 +154,8 @@ fn main() {
         .output_at(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core_ops.json"));
     bench_estimate(&mut c);
     bench_refine(&mut c);
+    bench_refine_steady(&mut c);
+    bench_traversal(&mut c);
     bench_best_merge(&mut c);
     bench_counting(&mut c);
     c.finish();

@@ -35,22 +35,23 @@ pub fn evaluate_self_tuning(
         return 0.0;
     }
     let mut sum = 0.0;
+    // One result-set buffer for the whole workload, refilled per query —
+    // the simulation loop runs tens of thousands of queries, so per-query
+    // row-buffer allocations add up.
+    let mut result = ResultSetCounter::empty(1);
     for q in workload.queries() {
         if refine {
             // Execute the query once and feed the histogram from its result
             // stream — the deployed feedback path, and far cheaper than
             // probing the index for every candidate hole.
-            match ResultSetCounter::from_counter(counter, q.rect()) {
-                Some(result) => {
-                    let truth = result.total() as f64;
-                    sum += (estimator.estimate(q.rect()) - truth).abs();
-                    estimator.refine(q.rect(), &result);
-                }
-                None => {
-                    let truth = counter.count(q.rect()) as f64;
-                    sum += (estimator.estimate(q.rect()) - truth).abs();
-                    estimator.refine(q.rect(), counter);
-                }
+            if result.refill_from_counter(counter, q.rect()) {
+                let truth = result.total() as f64;
+                sum += (estimator.estimate(q.rect()) - truth).abs();
+                estimator.refine(q.rect(), &result);
+            } else {
+                let truth = counter.count(q.rect()) as f64;
+                sum += (estimator.estimate(q.rect()) - truth).abs();
+                estimator.refine(q.rect(), counter);
             }
         } else {
             let truth = counter.count(q.rect()) as f64;

@@ -283,6 +283,76 @@ impl Rect {
     }
 }
 
+/// Operations against *packed bounds*: a `&[f64]` of length `2·ndim` laid
+/// out as all lower bounds followed by all upper bounds
+/// (`[lo_0..lo_{n-1}, hi_0..hi_{n-1}]`). Bucket stores keep boxes in this
+/// cache-linear form; the per-dimension arithmetic below mirrors the
+/// corresponding `Rect`-vs-`Rect` methods exactly, so switching a call site
+/// to the packed representation cannot change its results.
+impl Rect {
+    /// `true` when `self` and the packed box share interior volume.
+    /// Mirrors [`Rect::intersects`].
+    #[inline]
+    pub fn intersects_packed(&self, packed: &[f64]) -> bool {
+        let n = self.ndim();
+        debug_assert_eq!(packed.len(), 2 * n);
+        let (plo, phi) = packed.split_at(n);
+        for d in 0..n {
+            if self.lo[d].max(plo[d]) >= self.hi[d].min(phi[d]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `true` when the packed box lies entirely inside `self`.
+    /// Mirrors [`Rect::contains_rect`] (an empty box is contained in
+    /// everything of matching dimensionality).
+    #[inline]
+    pub fn contains_packed(&self, packed: &[f64]) -> bool {
+        let n = self.ndim();
+        debug_assert_eq!(packed.len(), 2 * n);
+        let (plo, phi) = packed.split_at(n);
+        if (0..n).any(|d| plo[d] >= phi[d]) {
+            return true;
+        }
+        for d in 0..n {
+            if plo[d] < self.lo[d] || phi[d] > self.hi[d] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Volume of the overlap between the packed box and `self` (zero when
+    /// disjoint). Mirrors [`Rect::overlap_volume`] called *on the packed
+    /// box* with `self` as the argument, i.e. the per-dimension length is
+    /// `packed_hi.min(self.hi) − packed_lo.max(self.lo)`.
+    #[inline]
+    pub fn overlap_volume_packed(&self, packed: &[f64]) -> f64 {
+        let n = self.ndim();
+        debug_assert_eq!(packed.len(), 2 * n);
+        let (plo, phi) = packed.split_at(n);
+        let mut v = 1.0;
+        for d in 0..n {
+            let len = phi[d].min(self.hi[d]) - plo[d].max(self.lo[d]);
+            if len <= 0.0 {
+                return 0.0;
+            }
+            v *= len;
+        }
+        v
+    }
+
+    /// Appends the packed form of this rectangle (`lo` slice then `hi`
+    /// slice) to `out`.
+    #[inline]
+    pub fn write_packed(&self, out: &mut Vec<f64>) {
+        out.extend_from_slice(&self.lo);
+        out.extend_from_slice(&self.hi);
+    }
+}
+
 impl fmt::Display for Rect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;

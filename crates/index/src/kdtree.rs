@@ -221,10 +221,16 @@ impl RangeCounter for KdCountTree {
     }
 
     fn collect_rows(&self, rect: &Rect) -> Option<(Vec<f64>, usize)> {
+        let mut rows = Vec::new();
+        let ndim = self.collect_rows_into(rect, &mut rows)?;
+        Some((rows, ndim))
+    }
+
+    fn collect_rows_into(&self, rect: &Rect, out: &mut Vec<f64>) -> Option<usize> {
+        out.clear();
         if self.total == 0 {
-            return Some((Vec::new(), self.ndim.max(1)));
+            return Some(self.ndim.max(1));
         }
-        let mut out: Vec<f64> = Vec::new();
         let mut stack = vec![self.root];
         while let Some(id) = stack.pop() {
             match &self.nodes[id as usize] {
@@ -248,7 +254,7 @@ impl RangeCounter for KdCountTree {
                 }
             }
         }
-        Some((out, self.ndim))
+        Some(self.ndim)
     }
 }
 

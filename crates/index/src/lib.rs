@@ -39,6 +39,17 @@ pub trait RangeCounter {
     fn collect_rows(&self, _rect: &Rect) -> Option<(Vec<f64>, usize)> {
         None
     }
+
+    /// Like [`RangeCounter::collect_rows`], but writes into a caller-owned
+    /// buffer (cleared first) and returns the dimensionality. Lets per-query
+    /// hot loops reuse one allocation across queries; the default delegates
+    /// to `collect_rows`.
+    fn collect_rows_into(&self, rect: &Rect, out: &mut Vec<f64>) -> Option<usize> {
+        out.clear();
+        let (rows, ndim) = self.collect_rows(rect)?;
+        out.extend_from_slice(&rows);
+        Some(ndim)
+    }
 }
 
 /// Reference [`RangeCounter`] that scans the dataset for every query.
@@ -63,16 +74,22 @@ impl RangeCounter for ScanCounter<'_> {
     }
 
     fn collect_rows(&self, rect: &Rect) -> Option<(Vec<f64>, usize)> {
-        let d = self.data.ndim();
         let mut rows = Vec::new();
+        let ndim = self.collect_rows_into(rect, &mut rows)?;
+        Some((rows, ndim))
+    }
+
+    fn collect_rows_into(&self, rect: &Rect, out: &mut Vec<f64>) -> Option<usize> {
+        out.clear();
+        let d = self.data.ndim();
         for i in 0..self.data.len() {
             if self.data.row_in(i, rect) {
                 for k in 0..d {
-                    rows.push(self.data.value(i, k));
+                    out.push(self.data.value(i, k));
                 }
             }
         }
-        Some((rows, d))
+        Some(d)
     }
 }
 
@@ -112,6 +129,34 @@ impl ResultSetCounter {
     /// materialize rows.
     pub fn from_counter(counter: &dyn RangeCounter, query: &Rect) -> Option<Self> {
         counter.collect_rows(query).map(|(rows, ndim)| Self::from_flat(rows, ndim))
+    }
+
+    /// Creates an empty counter whose row buffer can be refilled per query
+    /// via [`ResultSetCounter::refill_from_counter`], reusing the
+    /// allocation across queries.
+    pub fn empty(ndim: usize) -> Self {
+        assert!(ndim > 0, "ndim must be positive");
+        Self { rows: Vec::new(), ndim }
+    }
+
+    /// Re-executes this counter against a new query, reusing the existing
+    /// row buffer. Returns `false` (leaving the counter empty) when the
+    /// underlying counter cannot materialize rows.
+    pub fn refill_from_counter(&mut self, counter: &dyn RangeCounter, query: &Rect) -> bool {
+        match counter.collect_rows_into(query, &mut self.rows) {
+            Some(ndim) => {
+                assert!(
+                    ndim > 0 && self.rows.len().is_multiple_of(ndim),
+                    "row buffer not a multiple of ndim"
+                );
+                self.ndim = ndim;
+                true
+            }
+            None => {
+                self.rows.clear();
+                false
+            }
+        }
     }
 
     /// Collects the result stream of `query` from a dataset (what the
@@ -185,5 +230,48 @@ mod tests {
         // Sub-rectangles of the query agree too.
         let sub = sth_geometry::Rect::from_bounds(&[300.0, 250.0], &[500.0, 600.0]);
         assert_eq!(rs.count(&sub), ds.count_in_scan(&sub));
+    }
+
+    #[test]
+    fn refill_reuses_buffer_and_matches_from_counter() {
+        let ds = CrossSpec::cross2d().scaled(0.02).generate();
+        let scan = ScanCounter::new(&ds);
+        let tree = KdCountTree::build(&ds);
+        let queries = [
+            sth_geometry::Rect::from_bounds(&[200.0, 200.0], &[700.0, 700.0]),
+            sth_geometry::Rect::from_bounds(&[0.0, 0.0], &[100.0, 100.0]),
+            sth_geometry::Rect::from_bounds(&[300.0, 250.0], &[500.0, 600.0]),
+        ];
+        let mut reused = ResultSetCounter::empty(ds.ndim());
+        for q in &queries {
+            for counter in [&scan as &dyn RangeCounter, &tree] {
+                assert!(reused.refill_from_counter(counter, q));
+                let fresh = ResultSetCounter::from_counter(counter, q).unwrap();
+                assert_eq!(reused.len(), fresh.len());
+                assert_eq!(reused.count(q), ds.count_in_scan(q));
+            }
+        }
+    }
+
+    /// A counter that cannot materialize rows (default trait impls only).
+    struct CountOnly;
+    impl RangeCounter for CountOnly {
+        fn count(&self, _rect: &Rect) -> u64 {
+            0
+        }
+        fn total(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn refill_from_rowless_counter_empties_and_reports_false() {
+        let ds = CrossSpec::cross2d().scaled(0.02).generate();
+        let q = sth_geometry::Rect::from_bounds(&[200.0, 200.0], &[700.0, 700.0]);
+        let mut reused = ResultSetCounter::empty(ds.ndim());
+        assert!(reused.refill_from_counter(&ScanCounter::new(&ds), &q));
+        assert!(!reused.is_empty());
+        assert!(!reused.refill_from_counter(&CountOnly, &q));
+        assert!(reused.is_empty());
     }
 }

@@ -119,9 +119,14 @@ impl Bench {
     }
 
     /// Prints the summary table and writes the JSON report.
+    ///
+    /// The `STH_BENCH_OUT` environment variable overrides the output path
+    /// (highest precedence) — used by the regression gate so comparison
+    /// runs never clobber the committed baseline.
     pub fn finish(self) {
-        let path = self
-            .out_path
+        let path = std::env::var_os("STH_BENCH_OUT")
+            .map(PathBuf::from)
+            .or(self.out_path)
             .unwrap_or_else(|| PathBuf::from(format!("BENCH_{}.json", self.suite)));
         let json = to_json(&self.suite, &self.results);
         match std::fs::write(&path, &json) {
@@ -326,6 +331,128 @@ fn escape(s: &str) -> String {
         .collect()
 }
 
+/// One benchmark result parsed back from a `BENCH_*.json` report — only
+/// the fields the regression gate compares.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReportEntry {
+    /// Group name ("" for ungrouped benchmarks).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub name: String,
+    /// Median per-iteration time.
+    pub median_ns: f64,
+}
+
+/// Parses the JSON written by [`Bench::finish`] back into entries.
+///
+/// This is a scanner for the one-result-per-line format this module
+/// writes, not a general JSON parser: it picks the `group`, `name`, and
+/// `median_ns` fields out of every line that carries a `"median_ns"` key.
+pub fn parse_report(json: &str) -> Result<Vec<ReportEntry>, String> {
+    let mut out = Vec::new();
+    for (idx, raw) in json.lines().enumerate() {
+        let line = raw.trim();
+        if !line.starts_with('{') || !line.contains("\"median_ns\"") {
+            continue;
+        }
+        let err = |field: &str| format!("line {}: bad or missing {field:?}: {line}", idx + 1);
+        let group = extract_string(line, "group").ok_or_else(|| err("group"))?;
+        let name = extract_string(line, "name").ok_or_else(|| err("name"))?;
+        let median_ns = extract_number(line, "median_ns").ok_or_else(|| err("median_ns"))?;
+        out.push(ReportEntry { group, name, median_ns });
+    }
+    if out.is_empty() {
+        return Err("no benchmark results found in report".into());
+    }
+    Ok(out)
+}
+
+/// Finds `"key": "value"` in `line` and returns the unescaped value.
+fn extract_string(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                esc => out.push(esc),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Finds `"key": <number>` in `line` and parses the number.
+fn extract_number(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Outcome of gating a fresh benchmark run against a committed baseline.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// One human-readable comparison line per checked benchmark.
+    pub lines: Vec<String>,
+    /// The subset of lines whose median regressed beyond the allowance.
+    pub failures: Vec<String>,
+}
+
+/// Compares `fresh` medians against `baseline` for benchmarks whose group
+/// is in `groups`. A benchmark fails when
+/// `fresh > baseline * (1 + max_regression)` (e.g. `0.30` allows 30%
+/// slack — fast-mode runs on shared machines are noisy). Benchmarks
+/// present in only one report are noted but never fail the gate, so
+/// adding or retiring benchmarks doesn't require touching the baseline
+/// in the same commit.
+pub fn compare_reports(
+    baseline: &[ReportEntry],
+    fresh: &[ReportEntry],
+    groups: &[&str],
+    max_regression: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    for b in baseline.iter().filter(|e| groups.contains(&e.group.as_str())) {
+        let id = if b.group.is_empty() {
+            b.name.clone()
+        } else {
+            format!("{}/{}", b.group, b.name)
+        };
+        match fresh.iter().find(|f| f.group == b.group && f.name == b.name) {
+            None => report.lines.push(format!("{id}: not in fresh run (skipped)")),
+            Some(f) => {
+                let ratio = if b.median_ns > 0.0 {
+                    f.median_ns / b.median_ns
+                } else {
+                    f64::INFINITY
+                };
+                let line = format!(
+                    "{id}: baseline {} -> fresh {} ({:+.1}%)",
+                    format_ns(b.median_ns),
+                    format_ns(f.median_ns),
+                    (ratio - 1.0) * 100.0,
+                );
+                if ratio > 1.0 + max_regression {
+                    report.failures.push(line.clone());
+                }
+                report.lines.push(line);
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,5 +512,72 @@ mod tests {
     #[test]
     fn escape_handles_quotes() {
         assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    fn stats(group: &str, name: &str, median_ns: f64) -> Stats {
+        Stats {
+            group: group.into(),
+            name: name.into(),
+            median_ns,
+            p95_ns: median_ns * 1.2,
+            mean_ns: median_ns * 1.05,
+            min_ns: median_ns * 0.9,
+            samples: 10,
+            iters_per_sample: 100,
+        }
+    }
+
+    #[test]
+    fn parse_report_roundtrips_to_json_output() {
+        let json = to_json(
+            "core_ops",
+            &[
+                stats("refine", "budget_250", 709403058.0),
+                stats("", "best_merge_scan_250", 42.5),
+                stats("odd\"group", "es\\caped", 7.0),
+            ],
+        );
+        let entries = parse_report(&json).unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                ReportEntry { group: "refine".into(), name: "budget_250".into(), median_ns: 709403058.0 },
+                ReportEntry { group: "".into(), name: "best_merge_scan_250".into(), median_ns: 42.5 },
+                ReportEntry { group: "odd\"group".into(), name: "es\\caped".into(), median_ns: 7.0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_report_rejects_garbage() {
+        assert!(parse_report("{}").is_err());
+        assert!(parse_report("  {\"median_ns\": 5.0}").is_err()); // no group/name
+    }
+
+    #[test]
+    fn compare_reports_flags_only_real_regressions() {
+        let entry = |group: &str, name: &str, median_ns: f64| ReportEntry {
+            group: group.into(),
+            name: name.into(),
+            median_ns,
+        };
+        let baseline = vec![
+            entry("refine", "budget_50", 100.0),
+            entry("refine", "budget_250", 100.0),
+            entry("estimate", "buckets_50", 100.0),
+            entry("estimate", "retired", 100.0),
+            entry("ablation_index", "ignored", 100.0),
+        ];
+        let fresh = vec![
+            entry("refine", "budget_50", 125.0),   // +25%: within allowance
+            entry("refine", "budget_250", 150.0),  // +50%: regression
+            entry("estimate", "buckets_50", 80.0), // improvement
+            entry("ablation_index", "ignored", 900.0), // group not gated
+        ];
+        let gate = compare_reports(&baseline, &fresh, &["refine", "estimate"], 0.30);
+        assert_eq!(gate.lines.len(), 4); // 3 compared + 1 skipped
+        assert_eq!(gate.failures.len(), 1);
+        assert!(gate.failures[0].contains("refine/budget_250"));
+        assert!(gate.lines.iter().any(|l| l.contains("retired") && l.contains("skipped")));
     }
 }

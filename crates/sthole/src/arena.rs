@@ -31,10 +31,31 @@ impl Bucket {
 }
 
 /// Slotted arena of buckets with recycled ids.
+///
+/// Besides the bucket slots themselves the arena maintains three
+/// cache-linear side arrays, indexed by slot:
+///
+/// * `bounds` — each bucket's box in packed form
+///   (`[lo_0..lo_{n-1}, hi_0..hi_{n-1}]`, `2·ndim` values per slot), so the
+///   hot traversal loops test intersection against flat `f64` runs instead
+///   of chasing `Option<Bucket>` slots;
+/// * `vols` — each bucket's box volume, cached once at `alloc` (bucket
+///   boxes are immutable after insertion, so the cache never goes stale);
+/// * `hulls` — a packed bounding box of the bucket's *children*, used to
+///   skip whole sibling groups during traversal. Initialised to the
+///   bucket's own box, which is always a conservative (correct) hull since
+///   children are contained in their parent; [`BucketArena::tighten_hull`]
+///   shrinks it to the exact union for better pruning.
+///
+/// Side entries of freed slots are left stale and rewritten on recycle.
 #[derive(Clone, Debug, Default)]
 pub struct BucketArena {
     slots: Vec<Option<Bucket>>,
     free: Vec<BucketId>,
+    ndim: usize,
+    bounds: Vec<f64>,
+    vols: Vec<f64>,
+    hulls: Vec<f64>,
 }
 
 impl BucketArena {
@@ -45,16 +66,102 @@ impl BucketArena {
 
     /// Inserts a bucket and returns its id.
     pub fn alloc(&mut self, bucket: Bucket) -> BucketId {
-        match self.free.pop() {
+        let n = bucket.rect.ndim();
+        if self.ndim == 0 {
+            self.ndim = n;
+        }
+        debug_assert_eq!(n, self.ndim, "mixed dimensionality in arena");
+        let vol = bucket.rect.volume();
+        let id = match self.free.pop() {
             Some(id) => {
                 self.slots[id] = Some(bucket);
                 id
             }
             None => {
                 self.slots.push(Some(bucket));
+                self.bounds.resize(self.slots.len() * 2 * n, 0.0);
+                self.hulls.resize(self.slots.len() * 2 * n, 0.0);
+                self.vols.push(0.0);
                 self.slots.len() - 1
             }
+        };
+        let span = 2 * n;
+        let rect = &self.slots[id].as_ref().expect("just stored").rect;
+        let dst = &mut self.bounds[id * span..(id + 1) * span];
+        dst[..n].copy_from_slice(rect.lo());
+        dst[n..].copy_from_slice(rect.hi());
+        self.hulls[id * span..(id + 1) * span].copy_from_slice(dst);
+        self.vols[id] = vol;
+        id
+    }
+
+    /// The bucket's box in packed form (`2·ndim` values: lows then highs).
+    #[inline]
+    pub fn bounds(&self, id: BucketId) -> &[f64] {
+        debug_assert!(self.contains(id), "bounds of dead bucket");
+        let span = 2 * self.ndim;
+        &self.bounds[id * span..(id + 1) * span]
+    }
+
+    /// Cached volume of the bucket's box (not the own region).
+    #[inline]
+    pub fn volume_of(&self, id: BucketId) -> f64 {
+        debug_assert!(self.contains(id), "volume of dead bucket");
+        self.vols[id]
+    }
+
+    /// Packed bounding box of the bucket's children. Conservative: always
+    /// contains every child box, but may be looser than their exact union
+    /// until [`BucketArena::tighten_hull`] runs.
+    #[inline]
+    pub fn hull(&self, id: BucketId) -> &[f64] {
+        debug_assert!(self.contains(id), "hull of dead bucket");
+        let span = 2 * self.ndim;
+        &self.hulls[id * span..(id + 1) * span]
+    }
+
+    /// Recomputes `id`'s children hull as the exact union of its child
+    /// boxes (or the bucket's own box when childless — still a valid,
+    /// vacuously conservative hull).
+    pub fn tighten_hull(&mut self, id: BucketId) {
+        let n = self.ndim;
+        let span = 2 * n;
+        let b = self.get(id);
+        if b.children.is_empty() {
+            let (bounds, hulls) = (&self.bounds, &mut self.hulls);
+            hulls[id * span..(id + 1) * span]
+                .copy_from_slice(&bounds[id * span..(id + 1) * span]);
+            return;
         }
+        let first = b.children[0];
+        let rest: Vec<BucketId> = b.children[1..].to_vec();
+        let mut hull = [0.0f64; 16];
+        let hull = if span <= 16 { &mut hull[..span] } else { return self.tighten_hull_slow(id) };
+        hull.copy_from_slice(&self.bounds[first * span..(first + 1) * span]);
+        for c in rest {
+            let cb = &self.bounds[c * span..(c + 1) * span];
+            for d in 0..n {
+                hull[d] = hull[d].min(cb[d]);
+                hull[n + d] = hull[n + d].max(cb[n + d]);
+            }
+        }
+        self.hulls[id * span..(id + 1) * span].copy_from_slice(hull);
+    }
+
+    /// High-dimensional fallback for [`BucketArena::tighten_hull`].
+    fn tighten_hull_slow(&mut self, id: BucketId) {
+        let n = self.ndim;
+        let span = 2 * n;
+        let children = self.get(id).children.clone();
+        let mut hull = self.bounds[children[0] * span..(children[0] + 1) * span].to_vec();
+        for c in &children[1..] {
+            let cb = &self.bounds[c * span..(c + 1) * span];
+            for d in 0..n {
+                hull[d] = hull[d].min(cb[d]);
+                hull[n + d] = hull[n + d].max(cb[n + d]);
+            }
+        }
+        self.hulls[id * span..(id + 1) * span].copy_from_slice(&hull);
     }
 
     /// Removes a bucket, recycling its slot. The caller is responsible for
@@ -98,11 +205,13 @@ impl BucketArena {
     }
 
     /// Volume of a bucket's own region: its box minus the child boxes.
+    /// Uses the cached box volumes; identical arithmetic (and children
+    /// order) to recomputing from the rectangles.
     pub fn own_volume(&self, id: BucketId) -> f64 {
         let b = self.get(id);
-        let mut v = b.rect.volume();
+        let mut v = self.vols[id];
         for &c in &b.children {
-            v -= self.get(c).rect.volume();
+            v -= self.vols[c];
         }
         // Floating-point cancellation can produce tiny negatives.
         v.max(0.0)
@@ -158,5 +267,37 @@ mod tests {
         let id = a.alloc(Bucket::leaf(rect(0.0, 1.0), 0.0, None));
         a.dealloc(id);
         let _ = a.get(id);
+    }
+
+    #[test]
+    fn side_arrays_track_allocations() {
+        let mut a = BucketArena::new();
+        let root = a.alloc(Bucket::leaf(rect(0.0, 10.0), 5.0, None));
+        assert_eq!(a.bounds(root), &[0.0, 0.0, 10.0, 10.0]);
+        assert_eq!(a.volume_of(root), 100.0);
+        // Hull starts as the bucket's own box — conservative but valid.
+        assert_eq!(a.hull(root), &[0.0, 0.0, 10.0, 10.0]);
+
+        let c0 = a.alloc(Bucket::leaf(rect(1.0, 2.0), 1.0, Some(root)));
+        let c1 = a.alloc(Bucket::leaf(rect(4.0, 6.0), 1.0, Some(root)));
+        a.get_mut(root).children.extend([c0, c1]);
+        a.tighten_hull(root);
+        assert_eq!(a.hull(root), &[1.0, 1.0, 6.0, 6.0]);
+
+        // Dropping a child and re-tightening shrinks the hull again.
+        a.get_mut(root).children.retain(|&c| c != c1);
+        a.dealloc(c1);
+        a.tighten_hull(root);
+        assert_eq!(a.hull(root), &[1.0, 1.0, 2.0, 2.0]);
+
+        // Recycled slots get fresh side data.
+        let c2 = a.alloc(Bucket::leaf(rect(7.0, 9.0), 1.0, Some(root)));
+        assert_eq!(c2, c1);
+        assert_eq!(a.bounds(c2), &[7.0, 7.0, 9.0, 9.0]);
+        assert_eq!(a.volume_of(c2), 4.0);
+
+        // Childless tighten resets to the own box.
+        a.tighten_hull(c2);
+        assert_eq!(a.hull(c2), &[7.0, 7.0, 9.0, 9.0]);
     }
 }

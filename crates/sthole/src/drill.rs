@@ -21,45 +21,97 @@ impl StHoles {
     }
 
     pub(crate) fn drill_for_query(&mut self, query: &Rect, feedback: &dyn RangeCounter) {
-        let root_rect = self.arena.get(self.root).rect.clone();
-        let Some(q) = query.intersection(&root_rect) else {
+        let Some(q) = query.intersection(&self.arena.get(self.root).rect) else {
             return;
         };
         // Snapshot the affected buckets first: drilling re-parents children
-        // but never deletes buckets, so the snapshot stays valid.
-        let targets = self.buckets_intersecting(&q);
-        for id in targets {
-            self.drill_one(id, &q, feedback);
+        // but never deletes buckets, so the snapshot stays valid. The
+        // snapshot and the DFS stack come from the reusable scratch.
+        let mut targets = std::mem::take(&mut self.scratch.targets);
+        Self::buckets_intersecting_into(
+            &self.arena,
+            self.root,
+            &q,
+            &mut targets,
+            &mut self.scratch.stack,
+        );
+        for i in 0..targets.len() {
+            self.drill_one(targets[i], &q, feedback);
         }
+        self.scratch.targets = targets;
     }
 
     /// All buckets whose box intersects `q`, in pre-order.
-    pub(crate) fn buckets_intersecting(&self, q: &Rect) -> Vec<BucketId> {
+    pub fn buckets_intersecting(&self, q: &Rect) -> Vec<BucketId> {
         let mut out = Vec::new();
-        let mut stack = vec![self.root];
+        let mut stack = Vec::new();
+        Self::buckets_intersecting_into(&self.arena, self.root, q, &mut out, &mut stack);
+        out
+    }
+
+    /// Allocation-free core of [`StHoles::buckets_intersecting`]. Children
+    /// are pre-filtered against the packed bounds, and whole sibling groups
+    /// are skipped when the query misses the parent's cached children hull
+    /// (the hull contains every child box, so the skip is exact). Visits
+    /// the surviving buckets in the same order as the plain walk.
+    fn buckets_intersecting_into(
+        arena: &crate::BucketArena,
+        root: BucketId,
+        q: &Rect,
+        out: &mut Vec<BucketId>,
+        stack: &mut Vec<BucketId>,
+    ) {
+        out.clear();
+        stack.clear();
+        if q.intersects_packed(arena.bounds(root)) {
+            stack.push(root);
+        }
         while let Some(id) = stack.pop() {
-            let b = self.arena.get(id);
-            if b.rect.intersects(q) {
-                out.push(id);
-                stack.extend(&b.children);
+            out.push(id);
+            let b = arena.get(id);
+            if b.children.is_empty() || !q.intersects_packed(arena.hull(id)) {
+                continue;
+            }
+            for &c in &b.children {
+                if q.intersects_packed(arena.bounds(c)) {
+                    stack.push(c);
+                }
             }
         }
-        out
     }
 
     /// Drills the candidate hole of `q` in bucket `id`, if any.
     fn drill_one(&mut self, id: BucketId, q: &Rect, feedback: &dyn RangeCounter) {
-        let bucket_rect = self.arena.get(id).rect.clone();
-        let Some(mut c) = bucket_rect.intersection(q) else {
+        let Some(mut c) = self.arena.get(id).rect.intersection(q) else {
             return;
         };
+
+        // Children that can still force a shrink: those intersecting the
+        // candidate. A disjoint child stays disjoint (the candidate only
+        // shrinks) and never influences the loop below, so it is dropped
+        // up front — and permanently, via in-place compaction that keeps
+        // children order.
+        let cands = &mut self.scratch.shrink_cands;
+        cands.clear();
+        for &ch in &self.arena.get(id).children {
+            if c.intersects(&self.arena.get(ch).rect) {
+                cands.push(ch);
+            }
+        }
 
         // Shrink away partial overlaps with existing children, one dimension
         // at a time, always keeping the maximum candidate volume.
         loop {
             let mut best: Option<sth_geometry::Shrink> = None;
-            for &child in &self.arena.get(id).children {
+            let mut kept = 0;
+            for r in 0..cands.len() {
+                let child = cands[r];
                 let child_rect = &self.arena.get(child).rect;
+                if !c.intersects(child_rect) {
+                    continue;
+                }
+                cands[kept] = child;
+                kept += 1;
                 if c.contains_rect(child_rect) {
                     continue; // will become a child of the new hole
                 }
@@ -67,12 +119,13 @@ impl StHoles {
                     if best.as_ref().is_none_or(|b| s.remaining_volume > b.remaining_volume) {
                         best = Some(s);
                     }
-                } else if c.intersects(child_rect) {
+                } else {
                     // The child swallows the candidate entirely; the deeper
                     // recursion handles that region.
                     return;
                 }
             }
+            cands.truncate(kept);
             match best {
                 Some(s) => {
                     s.apply(&mut c);
@@ -85,24 +138,23 @@ impl StHoles {
         }
 
         // Children fully inside the candidate become children of the hole.
-        let participants: Vec<BucketId> = self
-            .arena
-            .get(id)
-            .children
-            .iter()
-            .copied()
-            .filter(|&ch| c.contains_rect(&self.arena.get(ch).rect))
-            .collect();
+        self.scratch.participants.clear();
+        for &ch in &self.arena.get(id).children {
+            if c.contains_rect(&self.arena.get(ch).rect) {
+                self.scratch.participants.push(ch);
+            }
+        }
 
         // Exact tuples in the hole's own region. Every counted rectangle is
         // inside q, so a result-stream counter is sufficient feedback.
         let mut t_c = feedback.count(&c) as f64;
-        for &p in &participants {
+        for i in 0..self.scratch.participants.len() {
+            let p = self.scratch.participants[i];
             t_c -= feedback.count(&self.arena.get(p).rect) as f64;
         }
         let t_c = t_c.max(0.0);
 
-        if c.approx_eq(&bucket_rect) {
+        if c.approx_eq(&self.arena.get(id).rect) {
             // The candidate covers the whole bucket: all children are
             // participants, so t_c is exactly the bucket's own-region count.
             self.arena.get_mut(id).freq = t_c;
@@ -113,22 +165,34 @@ impl StHoles {
         // Skip slivers: holes whose own region carries no volume cannot
         // influence any estimate.
         let mut own_vol = c.volume();
-        for &p in &participants {
-            own_vol -= self.arena.get(p).rect.volume();
+        for i in 0..self.scratch.participants.len() {
+            own_vol -= self.arena.volume_of(self.scratch.participants[i]);
         }
-        if own_vol <= self.config.min_hole_volume_frac * bucket_rect.volume() {
+        if own_vol <= self.config.min_hole_volume_frac * self.arena.volume_of(id) {
             return;
         }
 
-        let hole = self.arena.alloc(Bucket { rect: c, freq: t_c, parent: Some(id), children: participants.clone() });
-        for &p in &participants {
+        let hole = self.arena.alloc(Bucket {
+            rect: c,
+            freq: t_c,
+            parent: Some(id),
+            children: self.scratch.participants.clone(),
+        });
+        for i in 0..self.scratch.participants.len() {
+            let p = self.scratch.participants[i];
             self.arena.get_mut(p).parent = Some(hole);
         }
+        let parts = &self.scratch.participants;
         let b = self.arena.get_mut(id);
-        b.children.retain(|ch| !participants.contains(ch));
+        b.children.retain(|ch| !parts.contains(ch));
         b.children.push(hole);
         b.freq = (b.freq - t_c).max(0.0);
         self.nonroot_count += 1;
+        self.arena.tighten_hull(id);
+        if !self.scratch.participants.is_empty() {
+            self.arena.tighten_hull(hole);
+            self.merge_accel.mark_dirty(hole);
+        }
         self.invalidate_merges(id);
     }
 }

@@ -76,7 +76,7 @@ impl SthConfig {
 /// hist.refine(&q, &ResultSetCounter::new(rows));
 /// assert!((hist.estimate(&q) - 10.0).abs() < 1e-9);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct StHoles {
     pub(crate) arena: BucketArena,
     pub(crate) root: BucketId,
@@ -84,9 +84,29 @@ pub struct StHoles {
     pub(crate) nonroot_count: usize,
     frozen: bool,
     domain: Rect,
-    /// Per-parent cache of the cheapest merges below that parent. Pure
-    /// acceleration state: rebuilt lazily, skipped by serialization.
-    pub(crate) merge_cache: std::collections::HashMap<BucketId, crate::merge::ParentMerges>,
+    /// Incremental best-merge state (per-parent caches + penalty heaps).
+    /// Pure acceleration: rebuilt lazily, skipped by `Clone`/serialization.
+    pub(crate) merge_accel: crate::merge::MergeAccel,
+    /// Reusable buffers for the refine hot path. Dead storage between
+    /// calls; skipped by `Clone`/serialization.
+    pub(crate) scratch: crate::scratch::RefineScratch,
+}
+
+impl Clone for StHoles {
+    /// Clones the logical histogram state only; the clone starts with
+    /// empty acceleration state and scratch buffers.
+    fn clone(&self) -> Self {
+        Self {
+            arena: self.arena.clone(),
+            root: self.root,
+            config: self.config.clone(),
+            nonroot_count: self.nonroot_count,
+            frozen: self.frozen,
+            domain: self.domain.clone(),
+            merge_accel: Default::default(),
+            scratch: Default::default(),
+        }
+    }
 }
 
 impl StHoles {
@@ -110,7 +130,8 @@ impl StHoles {
             nonroot_count: 0,
             frozen: false,
             domain,
-            merge_cache: std::collections::HashMap::new(),
+            merge_accel: Default::default(),
+            scratch: Default::default(),
         }
     }
 
@@ -131,15 +152,24 @@ impl StHoles {
         nonroot_count: usize,
         domain: Rect,
     ) -> Self {
-        Self {
+        let mut h = Self {
             arena,
             root,
             config,
             nonroot_count,
             frozen: false,
             domain,
-            merge_cache: std::collections::HashMap::new(),
+            merge_accel: Default::default(),
+            scratch: Default::default(),
+        };
+        // Freshly allocated buckets carry conservative (own-box) children
+        // hulls; tighten them once so traversal pruning starts effective.
+        let parents: Vec<BucketId> =
+            h.arena.iter().filter(|(_, b)| !b.children.is_empty()).map(|(id, _)| id).collect();
+        for id in parents {
+            h.arena.tighten_hull(id);
         }
+        h
     }
 
     /// The attribute-value domain (root box).
@@ -207,7 +237,7 @@ impl StHoles {
         for id in ids {
             self.arena.get_mut(id).freq *= factor;
         }
-        self.merge_cache.clear();
+        self.merge_accel.invalidate_all();
     }
 
     /// Recursive estimation (Eq. 1): each bucket contributes
@@ -220,12 +250,16 @@ impl StHoles {
         let mut est = 0.0;
         // Volume of q ∩ (own region of b) = vol(q ∩ box(b)) − Σ vol(q ∩ box(child)).
         let mut v_q_own = qb.volume();
-        for &c in &b.children {
-            let child_rect = &self.arena.get(c).rect;
-            let overlap = child_rect.overlap_volume(&qb);
-            if overlap > 0.0 {
-                v_q_own -= overlap;
-                est += self.estimate_rec(c, q);
+        // Children-hull gate: when the query misses the cached hull it
+        // misses every child, so all overlaps below would be zero — the
+        // skip is exact, not approximate.
+        if !b.children.is_empty() && qb.intersects_packed(self.arena.hull(id)) {
+            for &c in &b.children {
+                let overlap = qb.overlap_volume_packed(self.arena.bounds(c));
+                if overlap > 0.0 {
+                    v_q_own -= overlap;
+                    est += self.estimate_rec(c, q);
+                }
             }
         }
         let v_own = self.arena.own_volume(id);
@@ -272,9 +306,19 @@ impl StHoles {
                     }
                 }
             }
+            if self.arena.volume_of(id) != b.rect.volume() {
+                return Err(format!("bucket {id}: stale cached volume"));
+            }
             for (i, &c1) in b.children.iter().enumerate() {
                 if !self.arena.contains(c1) {
                     return Err(format!("bucket {id}: dangling child {c1}"));
+                }
+                // The cached children hull must stay conservative.
+                let hull = self.arena.hull(id);
+                let cb = self.arena.bounds(c1);
+                let n = cb.len() / 2;
+                if (0..n).any(|d| cb[d] < hull[d] || cb[n + d] > hull[n + d]) {
+                    return Err(format!("bucket {id}: child {c1} escapes cached children hull"));
                 }
                 if self.arena.get(c1).parent != Some(id) {
                     return Err(format!("bucket {id}: child {c1} has wrong parent"));
@@ -456,8 +500,20 @@ mod tests {
             nonroot_count: h.nonroot_count,
             frozen: false,
             domain: h.domain.clone(),
-            merge_cache: std::collections::HashMap::new(),
+            merge_accel: Default::default(),
+            scratch: Default::default(),
         };
         assert_eq!(h.estimate(&domain()), h2.estimate(&domain()));
+    }
+
+    #[test]
+    fn clone_drops_acceleration_state_but_agrees() {
+        let mut h = fig1();
+        // Warm up the merge accelerator, then clone: the clone must answer
+        // identically from a cold start.
+        let warm = h.best_merge();
+        let mut c = h.clone();
+        assert_eq!(c.best_merge(), warm);
+        assert_eq!(c.estimate(&domain()), h.estimate(&domain()));
     }
 }

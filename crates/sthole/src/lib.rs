@@ -30,6 +30,7 @@ mod drill;
 mod histogram;
 mod merge;
 mod persist;
+mod scratch;
 mod stats;
 
 pub use arena::{Bucket, BucketArena, BucketId};

@@ -10,9 +10,26 @@
 //!   extended until every other sibling is either disjoint or fully
 //!   enclosed (the enclosed ones — *participants* — become children of the
 //!   merged bucket, cf. Fig. 3 of the paper).
+//!
+//! ## Acceleration
+//!
+//! The cheapest merge is found through [`MergeAccel`]: per-parent cached
+//! [`ParentMerges`] entries plus two global min-heaps (one per merge shape)
+//! keyed by `(penalty, parent, version)`. Structural changes mark the
+//! affected parents *dirty*; the next [`StHoles::best_merge`] call
+//! recomputes only those parents, bumps their version counter (lazily
+//! invalidating any queued heap entries), and then answers from the heap
+//! tops — O(log parents) per steady-state merge instead of a full parent
+//! scan. [`StHoles::best_merge_exhaustive`] keeps the original full scan
+//! as a brute-force oracle.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::cmp::Reverse;
 
 use sth_geometry::Rect;
 
+use crate::scratch::RefineScratch;
 use crate::{Bucket, BucketId, StHoles};
 
 /// A concrete merge to apply.
@@ -57,13 +74,112 @@ pub struct ParentMerges {
     pub best_siblings: Option<MergePenalty>,
 }
 
-/// Everything needed to evaluate/apply a sibling merge.
+/// One queued heap candidate: the cheapest merge of one shape under
+/// `parent`, valid only while `version` matches the accelerator's current
+/// version for that parent (lazy deletion).
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry {
+    penalty: f64,
+    parent: BucketId,
+    version: u64,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Penalties are finite sums of absolute values (never NaN, never
+        // −0.0), so total_cmp agrees with the numeric order. The parent
+        // tiebreak reproduces the original scan order (ascending slot).
+        self.penalty
+            .total_cmp(&other.penalty)
+            .then(self.parent.cmp(&other.parent))
+            .then(self.version.cmp(&other.version))
+    }
+}
+
+/// Incremental best-merge state: per-parent caches, a dirty set, and two
+/// global min-heaps with versioned lazy deletion.
+///
+/// Not part of the histogram's logical state: `Clone` and persistence drop
+/// it (`rebuild_all` makes the first `best_merge` after a rebuild start
+/// from scratch).
+#[derive(Debug)]
+pub(crate) struct MergeAccel {
+    cache: HashMap<BucketId, ParentMerges>,
+    /// Per-slot version; bumping it invalidates all queued heap entries.
+    version: Vec<u64>,
+    dirty: Vec<BucketId>,
+    dirty_flag: Vec<bool>,
+    heap_pc: BinaryHeap<Reverse<HeapEntry>>,
+    heap_sib: BinaryHeap<Reverse<HeapEntry>>,
+    rebuild_all: bool,
+}
+
+impl Default for MergeAccel {
+    fn default() -> Self {
+        Self {
+            cache: HashMap::new(),
+            version: Vec::new(),
+            dirty: Vec::new(),
+            dirty_flag: Vec::new(),
+            heap_pc: BinaryHeap::new(),
+            heap_sib: BinaryHeap::new(),
+            rebuild_all: true,
+        }
+    }
+}
+
+impl MergeAccel {
+    fn ensure(&mut self, id: BucketId) {
+        if id >= self.version.len() {
+            self.version.resize(id + 1, 0);
+            self.dirty_flag.resize(id + 1, false);
+        }
+    }
+
+    /// Queues `id` for recomputation at the next `best_merge`.
+    pub(crate) fn mark_dirty(&mut self, id: BucketId) {
+        self.ensure(id);
+        if !self.dirty_flag[id] {
+            self.dirty_flag[id] = true;
+            self.dirty.push(id);
+        }
+    }
+
+    /// Drops everything; the next `best_merge` rebuilds from the tree.
+    pub(crate) fn invalidate_all(&mut self) {
+        self.rebuild_all = true;
+    }
+
+    /// Pops stale entries off `heap` and returns (a copy of) the valid top.
+    fn peek_valid(heap: &mut BinaryHeap<Reverse<HeapEntry>>, version: &[u64]) -> Option<HeapEntry> {
+        while let Some(&Reverse(top)) = heap.peek() {
+            if version.get(top.parent).copied() == Some(top.version) {
+                return Some(top);
+            }
+            heap.pop();
+        }
+        None
+    }
+}
+
+/// Everything needed to apply a sibling merge. (Penalty evaluation during
+/// the search uses the allocation-free [`StHoles::sibling_penalty`].)
 struct SiblingPlan {
     bn_rect: Rect,
     participants: Vec<BucketId>,
     v_move: f64,
     f_move: f64,
-    penalty: f64,
 }
 
 impl StHoles {
@@ -87,35 +203,61 @@ impl StHoles {
     /// Returns the cheapest merge under the configured
     /// [`crate::MergePolicy`].
     ///
-    /// Penalties are cached per parent and recomputed only for parents whose
-    /// subtree changed since the last call (drilling and merging invalidate
-    /// the affected entries), so the steady-state cost is one cheap scan
-    /// over the parents plus a handful of recomputations.
+    /// Steady-state cost is O(dirty parents) recomputation plus O(log
+    /// parents) heap maintenance; see the module docs. The result is
+    /// identical to [`StHoles::best_merge_exhaustive`].
     pub fn best_merge(&mut self) -> Option<MergePenalty> {
-        let parents: Vec<BucketId> = self
-            .arena
-            .iter()
-            .filter(|(_, b)| !b.children.is_empty())
-            .map(|(id, _)| id)
-            .collect();
-        for &id in &parents {
-            if !self.merge_cache.contains_key(&id) {
-                let entry = self.compute_parent_merges(id);
-                self.merge_cache.insert(id, entry);
-            }
-        }
+        self.refresh_merge_accel();
+        let policy = self.config.merge_policy;
+        let accel = &mut self.merge_accel;
+        let pc = MergeAccel::peek_valid(&mut accel.heap_pc, &accel.version);
+        let sib = match policy {
+            crate::MergePolicy::ParentChildOnly => None,
+            _ => MergeAccel::peek_valid(&mut accel.heap_sib, &accel.version),
+        };
+        // Tie rules reproduce the original full scan: parents visited in
+        // ascending slot order, parent–child considered before siblings,
+        // strict `<` (first candidate wins).
+        let pick_pc = match (&pc, &sib) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(p), Some(s)) => match policy {
+                crate::MergePolicy::ParentChildOnly => true,
+                crate::MergePolicy::SiblingFirst => false,
+                crate::MergePolicy::All => match p.penalty.total_cmp(&s.penalty) {
+                    Ordering::Less => true,
+                    Ordering::Greater => false,
+                    Ordering::Equal => p.parent <= s.parent,
+                },
+            },
+        };
+        let winner = if pick_pc { pc.unwrap() } else { sib.unwrap() };
+        let entry = accel.cache.get(&winner.parent).expect("valid heap entry without cache");
+        let mp = if pick_pc { &entry.best_parent_child } else { &entry.best_siblings };
+        Some(mp.as_ref().expect("valid heap entry without candidate").clone())
+    }
+
+    /// Brute-force reference for [`StHoles::best_merge`]: rescans every
+    /// parent and recomputes every penalty, ignoring the incremental
+    /// acceleration state. O(buckets · children²); oracle for tests.
+    pub fn best_merge_exhaustive(&self) -> Option<MergePenalty> {
+        let mut scratch = RefineScratch::default();
         let policy = self.config.merge_policy;
         let mut best: Option<MergePenalty> = None;
         let mut best_pc: Option<MergePenalty> = None;
-        let consider = |slot: &mut Option<MergePenalty>, cand: &Option<MergePenalty>| {
+        fn consider(slot: &mut Option<MergePenalty>, cand: &Option<MergePenalty>) {
             if let Some(c) = cand {
                 if slot.as_ref().is_none_or(|b| c.penalty < b.penalty) {
                     *slot = Some(c.clone());
                 }
             }
-        };
-        for id in &parents {
-            let entry = &self.merge_cache[id];
+        }
+        for (id, b) in self.arena.iter() {
+            if b.children.is_empty() {
+                continue;
+            }
+            let entry = self.compute_parent_merges(id, &mut scratch);
             consider(&mut best_pc, &entry.best_parent_child);
             match policy {
                 crate::MergePolicy::All => {
@@ -133,131 +275,410 @@ impl StHoles {
         best.or(best_pc)
     }
 
-    /// Drops the cached merge candidates of `id` and of its parent — called
+    /// Recomputes dirty parents, refreshes their heap entries, and
+    /// occasionally compacts the heaps of accumulated stale entries.
+    fn refresh_merge_accel(&mut self) {
+        let mut accel = std::mem::take(&mut self.merge_accel);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        if accel.rebuild_all {
+            accel.rebuild_all = false;
+            accel.cache.clear();
+            accel.heap_pc.clear();
+            accel.heap_sib.clear();
+            accel.dirty.clear();
+            accel.dirty_flag.iter_mut().for_each(|f| *f = false);
+            for (id, b) in self.arena.iter() {
+                if !b.children.is_empty() {
+                    accel.mark_dirty(id);
+                }
+            }
+        }
+        let mut dirty = std::mem::take(&mut accel.dirty);
+        for &id in &dirty {
+            accel.dirty_flag[id] = false;
+            accel.version[id] = accel.version[id].wrapping_add(1);
+            if self.arena.contains(id) && !self.arena.get(id).children.is_empty() {
+                let entry = self.compute_parent_merges(id, &mut scratch);
+                let version = accel.version[id];
+                if let Some(mp) = &entry.best_parent_child {
+                    accel
+                        .heap_pc
+                        .push(Reverse(HeapEntry { penalty: mp.penalty, parent: id, version }));
+                }
+                if let Some(mp) = &entry.best_siblings {
+                    accel
+                        .heap_sib
+                        .push(Reverse(HeapEntry { penalty: mp.penalty, parent: id, version }));
+                }
+                accel.cache.insert(id, entry);
+            } else {
+                accel.cache.remove(&id);
+            }
+        }
+        dirty.clear();
+        accel.dirty = dirty;
+        // Lazy deletion lets stale entries pile up; rebuild both heaps from
+        // the cache once they dominate. Amortized O(1) per merge.
+        let live = accel.cache.len();
+        let stale_heavy = |len: usize| len > 64 && len > 4 * live;
+        if stale_heavy(accel.heap_pc.len()) || stale_heavy(accel.heap_sib.len()) {
+            accel.heap_pc.clear();
+            accel.heap_sib.clear();
+            for (&id, entry) in &accel.cache {
+                let version = accel.version[id];
+                if let Some(mp) = &entry.best_parent_child {
+                    accel
+                        .heap_pc
+                        .push(Reverse(HeapEntry { penalty: mp.penalty, parent: id, version }));
+                }
+                if let Some(mp) = &entry.best_siblings {
+                    accel
+                        .heap_sib
+                        .push(Reverse(HeapEntry { penalty: mp.penalty, parent: id, version }));
+                }
+            }
+        }
+        self.scratch = scratch;
+        self.merge_accel = accel;
+    }
+
+    /// Marks the merge candidates of `id` and of its parent stale — called
     /// after any structural change (frequency, box set, child list) at `id`.
     pub(crate) fn invalidate_merges(&mut self, id: BucketId) {
-        self.merge_cache.remove(&id);
+        self.merge_accel.mark_dirty(id);
         if self.arena.contains(id) {
             if let Some(p) = self.arena.get(id).parent {
-                self.merge_cache.remove(&p);
+                self.merge_accel.mark_dirty(p);
             }
         }
     }
 
-    /// Computes the cheapest merges below parent `id` from scratch.
-    fn compute_parent_merges(&self, id: BucketId) -> ParentMerges {
+    /// Computes the cheapest merges below parent `id` from scratch,
+    /// allocation-free: per-child box/own volumes are hoisted once (the
+    /// original recomputed the parent's own volume per candidate, an
+    /// O(children²) term), and the sibling search works on packed bounds.
+    fn compute_parent_merges(&self, id: BucketId, scratch: &mut RefineScratch) -> ParentMerges {
+        let RefineScratch {
+            child_vols,
+            child_owns,
+            pairs,
+            pair_buf,
+            best2,
+            bn_lo,
+            bn_hi,
+            sib_parts,
+            x_order,
+            active,
+            ..
+        } = scratch;
         let bucket = self.arena.get(id);
+        let kids = &bucket.children;
+        child_vols.clear();
+        child_owns.clear();
+        for &c in kids {
+            child_vols.push(self.arena.volume_of(c));
+        }
+        // Same arithmetic (and children order) as `BucketArena::own_volume`.
+        let mut v_p = self.arena.volume_of(id);
+        for &v in child_vols.iter() {
+            v_p -= v;
+        }
+        let v_p = v_p.max(0.0);
+        for &c in kids {
+            child_owns.push(self.arena.own_volume(c));
+        }
+
+        let f_p = bucket.freq;
         let mut entry = ParentMerges::default();
-        for &c in &bucket.children {
-            let cand = MergePenalty {
-                penalty: self.parent_child_penalty(id, c),
-                op: MergeOp::ParentChild { parent: id, child: c },
-            };
-            if entry.best_parent_child.as_ref().is_none_or(|b| cand.penalty < b.penalty) {
-                entry.best_parent_child = Some(cand);
+        for (i, &c) in kids.iter().enumerate() {
+            // Penalty of folding `c` into `id`: both regions are afterwards
+            // estimated with the pooled density.
+            let f_c = self.arena.get(c).freq;
+            let v_c = child_owns[i];
+            let v_n = v_p + v_c;
+            let rho_n = if v_n > 0.0 { (f_p + f_c) / v_n } else { 0.0 };
+            let penalty = (f_p - rho_n * v_p).abs() + (f_c - rho_n * v_c).abs();
+            if entry.best_parent_child.as_ref().is_none_or(|b| penalty < b.penalty) {
+                entry.best_parent_child =
+                    Some(MergePenalty { penalty, op: MergeOp::ParentChild { parent: id, child: c } });
             }
         }
-        for (a, b) in self.sibling_pair_candidates(id) {
-            let plan = self.sibling_plan(id, a, b);
-            if entry.best_siblings.as_ref().is_none_or(|x| plan.penalty < x.penalty) {
+
+        self.sibling_pair_positions(id, pairs, pair_buf, best2);
+        if !pairs.is_empty() {
+            // Sweep order for the penalty evaluations below: children sorted
+            // by dim-0 lower edge (position as tiebreak, so the order is
+            // deterministic under equal edges).
+            x_order.clear();
+            x_order.extend(0..kids.len() as u32);
+            x_order.sort_unstable_by(|&a, &b| {
+                let xa = self.arena.bounds(kids[a as usize])[0];
+                let xb = self.arena.bounds(kids[b as usize])[0];
+                xa.total_cmp(&xb).then(a.cmp(&b))
+            });
+        }
+        for &(pi, pj) in pairs.iter() {
+            let (pi, pj) = (pi as usize, pj as usize);
+            let penalty = self.sibling_penalty(
+                id, pi, pj, v_p, child_vols, child_owns, bn_lo, bn_hi, sib_parts, x_order, active,
+            );
+            if entry.best_siblings.as_ref().is_none_or(|x| penalty < x.penalty) {
                 entry.best_siblings = Some(MergePenalty {
-                    penalty: plan.penalty,
-                    op: MergeOp::Siblings { parent: id, a, b },
+                    penalty,
+                    op: MergeOp::Siblings { parent: id, a: kids[pi], b: kids[pj] },
                 });
             }
         }
         entry
     }
 
-    /// Sibling pairs worth evaluating under `parent`. Small child lists are
+    /// Fills `pairs` with the sibling pairs worth evaluating under
+    /// `parent`, as positions into its children list. Small child lists are
     /// searched exhaustively; large ones are pruned to each child's
-    /// `sibling_neighbor_cap` hull-nearest siblings (see [`crate::SthConfig`]).
-    fn sibling_pair_candidates(&self, parent: BucketId) -> Vec<(BucketId, BucketId)> {
+    /// `sibling_neighbor_cap` hull-nearest siblings (see
+    /// [`crate::SthConfig`]) plus a global top-up of the cheapest pairs.
+    ///
+    /// Deterministic: pruned candidates are sorted by position (the
+    /// original collected them in a `HashSet`, making tie-breaks among
+    /// equal penalties run-to-run random).
+    fn sibling_pair_positions(
+        &self,
+        parent: BucketId,
+        pairs: &mut Vec<(u32, u32)>,
+        pair_buf: &mut Vec<(f64, u32, u32)>,
+        best2: &mut Vec<[(f64, u32); 2]>,
+    ) {
+        pairs.clear();
         let kids = &self.arena.get(parent).children;
         let k = kids.len();
+        if k < 2 {
+            return;
+        }
         let cap = self.config.sibling_neighbor_cap;
         let exhaustive = match cap {
             None => true,
             Some(cap) => k <= cap.max(2) * 2,
         };
         if exhaustive {
-            let mut pairs = Vec::with_capacity(k.saturating_sub(1) * k / 2);
-            for (i, &a) in kids.iter().enumerate() {
-                for &b in &kids[i + 1..] {
-                    pairs.push((a, b));
+            for i in 0..k as u32 {
+                for j in i + 1..k as u32 {
+                    pairs.push((i, j));
                 }
             }
-            return pairs;
+            return;
         }
         let cap = cap.unwrap();
         // Hull growth = vol(hull(a,b)) − vol(a) − vol(b): a cheap proxy for
-        // how much foreign volume a merge would absorb. Computed
-        // allocation-free — this proxy loop runs O(children²) times per
-        // cache refresh and dominates merge-search cost on flat trees.
-        let rects: Vec<&sth_geometry::Rect> =
-            kids.iter().map(|&c| &self.arena.get(c).rect).collect();
-        let vols: Vec<f64> = rects.iter().map(|r| r.volume()).collect();
-        let ndim = rects[0].ndim();
-        let hull_growth = |i: usize, j: usize| -> f64 {
-            let (lo_i, hi_i) = (rects[i].lo(), rects[i].hi());
-            let (lo_j, hi_j) = (rects[j].lo(), rects[j].hi());
-            let mut v = 1.0;
-            for d in 0..ndim {
-                v *= hi_i[d].max(hi_j[d]) - lo_i[d].min(lo_j[d]);
-            }
-            v - vols[i] - vols[j]
-        };
-        let mut pairs = std::collections::HashSet::new();
+        // how much foreign volume a merge would absorb. This proxy loop is
+        // O(children²) per cache refresh and dominates merge-search cost on
+        // flat trees, so it runs on the packed bounds / cached volumes.
+        let n = self.arena.bounds(kids[0]).len() / 2;
+        pair_buf.clear();
+        best2.clear();
+        best2.resize(k, [(f64::INFINITY, u32::MAX); 2]);
         // Per-child best neighbors keep isolated children mergeable; a small
         // global top-up catches cheap pairs clustered in one region.
-        let mut all: Vec<(f64, usize, usize)> = Vec::with_capacity(k * (k - 1) / 2);
-        for i in 0..k {
-            let mut best: [(f64, usize); 2] = [(f64::INFINITY, usize::MAX); 2];
-            for j in 0..k {
-                if i == j {
-                    continue;
-                }
-                let g = hull_growth(i, j);
-                if i < j {
-                    all.push((g, i, j));
-                }
-                if g < best[0].0 {
-                    best[1] = best[0];
-                    best[0] = (g, j);
-                } else if g < best[1].0 {
-                    best[1] = (g, j);
-                }
+        let update = |best: &mut [(f64, u32); 2], g: f64, j: u32| {
+            if g < best[0].0 {
+                best[1] = best[0];
+                best[0] = (g, j);
+            } else if g < best[1].0 {
+                best[1] = (g, j);
             }
-            for &(_, j) in best.iter().take(cap.min(2)) {
-                if j != usize::MAX {
-                    pairs.insert((kids[i].min(kids[j]), kids[i].max(kids[j])));
+        };
+        for i in 0..k {
+            let bi = self.arena.bounds(kids[i]);
+            let v_i = self.arena.volume_of(kids[i]);
+            for j in i + 1..k {
+                let bj = self.arena.bounds(kids[j]);
+                let v_j = self.arena.volume_of(kids[j]);
+                let mut v = 1.0;
+                for d in 0..n {
+                    v *= bi[n + d].max(bj[n + d]) - bi[d].min(bj[d]);
+                }
+                // Both subtraction orders: each child sees the growth with
+                // its own volume subtracted first, exactly as the original
+                // full j-loop computed it (the two differ in the last ulp).
+                let g_ij = v - v_i - v_j;
+                let g_ji = v - v_j - v_i;
+                pair_buf.push((g_ij, i as u32, j as u32));
+                update(&mut best2[i], g_ij, j as u32);
+                update(&mut best2[j], g_ji, i as u32);
+            }
+        }
+        let push_id_ordered = |pairs: &mut Vec<(u32, u32)>, i: u32, j: u32| {
+            if kids[i as usize] < kids[j as usize] {
+                pairs.push((i, j));
+            } else {
+                pairs.push((j, i));
+            }
+        };
+        for i in 0..k {
+            for &(_, j) in best2[i].iter().take(cap.min(2)) {
+                if j != u32::MAX {
+                    push_id_ordered(pairs, i as u32, j);
                 }
             }
         }
         let global_top = (cap * 8).max(16);
-        if all.len() > global_top {
-            all.select_nth_unstable_by(global_top, |a, b| a.0.partial_cmp(&b.0).unwrap());
-            all.truncate(global_top);
+        if pair_buf.len() > global_top {
+            pair_buf.select_nth_unstable_by(global_top, |a, b| a.0.partial_cmp(&b.0).unwrap());
+            pair_buf.truncate(global_top);
         }
-        for &(_, i, j) in &all {
-            pairs.insert((kids[i].min(kids[j]), kids[i].max(kids[j])));
+        for &(_, i, j) in pair_buf.iter() {
+            push_id_ordered(pairs, i, j);
         }
-        pairs.into_iter().collect()
+        // Positions map 1:1 to ids, and the orientation above is canonical,
+        // so duplicates are textual and sort+dedup removes them all.
+        pairs.sort_unstable();
+        pairs.dedup();
     }
 
-    /// Penalty of folding `child` into `parent`: both regions are afterwards
-    /// estimated with the pooled density.
-    fn parent_child_penalty(&self, parent: BucketId, child: BucketId) -> f64 {
-        let f_p = self.arena.get(parent).freq;
-        let f_c = self.arena.get(child).freq;
-        let v_p = self.arena.own_volume(parent);
-        let v_c = self.arena.own_volume(child);
-        let v_n = v_p + v_c;
-        let rho_n = if v_n > 0.0 { (f_p + f_c) / v_n } else { 0.0 };
-        (f_p - rho_n * v_p).abs() + (f_c - rho_n * v_c).abs()
+    /// Penalty of merging children at positions `pi`, `pj` under `parent`.
+    /// Slice-based twin of [`StHoles::sibling_plan`] — every expression
+    /// mirrors the `Rect` methods the plan uses, so both produce identical
+    /// bits; this one just never allocates.
+    #[allow(clippy::too_many_arguments)]
+    fn sibling_penalty(
+        &self,
+        parent: BucketId,
+        pi: usize,
+        pj: usize,
+        v_p_own: f64,
+        child_vols: &[f64],
+        child_owns: &[f64],
+        bn_lo: &mut Vec<f64>,
+        bn_hi: &mut Vec<f64>,
+        sib_parts: &mut Vec<u32>,
+        x_order: &[u32],
+        active: &mut Vec<u32>,
+    ) -> f64 {
+        let pa = self.arena.get(parent);
+        let kids = &pa.children;
+        let (a, b) = (kids[pi], kids[pj]);
+        let ba = self.arena.bounds(a);
+        let bb = self.arena.bounds(b);
+        let n = ba.len() / 2;
+        bn_lo.clear();
+        bn_hi.clear();
+        for d in 0..n {
+            bn_lo.push(ba[d].min(bb[d]));
+            bn_hi.push(ba[n + d].max(bb[n + d]));
+        }
+        // Extend until no other sibling partially overlaps (Fig. 3 (b)).
+        // The box only ever grows, and each pass runs to stability, so the
+        // result is the least fixpoint — independent of visit order (min /
+        // max are exact, so even the bits are order-independent). Two
+        // consequences are exploited here:
+        //
+        // * sweeping children by ascending dim-0 lower edge (`x_order`)
+        //   lets a pass stop at the first child starting past the current
+        //   box — everything later is disjoint in dim 0;
+        // * a child the box has swallowed stays swallowed, so it moves
+        //   from the `active` worklist straight into the participant list
+        //   and is never rescanned — later passes only revisit children
+        //   that were still disjoint.
+        active.clear();
+        active.extend(x_order.iter().copied().filter(|&p| p as usize != pi && p as usize != pj));
+        sib_parts.clear();
+        loop {
+            let mut changed = false;
+            let mut kept = 0;
+            let mut idx = 0;
+            while idx < active.len() {
+                let pos32 = active[idx];
+                let bs = self.arena.bounds(kids[pos32 as usize]);
+                if bs[0] > bn_hi[0] {
+                    // Everything from here on starts past the box: still
+                    // disjoint, keep it on the worklist for later passes.
+                    while idx < active.len() {
+                        active[kept] = active[idx];
+                        kept += 1;
+                        idx += 1;
+                    }
+                    break;
+                }
+                idx += 1;
+                let mut disjoint = false;
+                for d in 0..n {
+                    if bn_lo[d].max(bs[d]) >= bn_hi[d].min(bs[n + d]) {
+                        disjoint = true;
+                        break;
+                    }
+                }
+                if disjoint {
+                    active[kept] = pos32;
+                    kept += 1;
+                    continue;
+                }
+                let mut contained = true;
+                for d in 0..n {
+                    if bs[d] < bn_lo[d] || bs[n + d] > bn_hi[d] {
+                        contained = false;
+                        break;
+                    }
+                }
+                if !contained {
+                    for d in 0..n {
+                        if bs[d] < bn_lo[d] {
+                            bn_lo[d] = bs[d];
+                        }
+                        if bs[n + d] > bn_hi[d] {
+                            bn_hi[d] = bs[n + d];
+                        }
+                    }
+                    changed = true;
+                }
+                // Contained now (extension covers the box exactly): a
+                // permanent participant.
+                sib_parts.push(pos32);
+            }
+            active.truncate(kept);
+            if !changed {
+                break;
+            }
+        }
+        // Positions were collected in sweep order; the volume sums below
+        // must run in children order to stay bit-identical to a plain scan.
+        sib_parts.sort_unstable();
+
+        let mut bn_vol = 1.0;
+        for d in 0..n {
+            bn_vol *= bn_hi[d] - bn_lo[d];
+        }
+        // Volume the merged bucket takes over from the parent's own region.
+        let mut v_move = bn_vol - child_vols[pi] - child_vols[pj];
+        for &p in sib_parts.iter() {
+            v_move -= child_vols[p as usize];
+        }
+        let v_move = v_move.max(0.0);
+        let rho_p = if v_p_own > 0.0 { pa.freq / v_p_own } else { 0.0 };
+        let f_move = (rho_p * v_move).min(pa.freq);
+
+        // Own volume of the merged bucket: its box minus all child boxes
+        // (former children of a and b, plus the participants).
+        let mut v_n = bn_vol;
+        for &c in self.arena.get(a).children.iter().chain(&self.arena.get(b).children) {
+            v_n -= self.arena.volume_of(c);
+        }
+        for &p in sib_parts.iter() {
+            v_n -= child_vols[p as usize];
+        }
+        let v_n = v_n.max(0.0);
+
+        let f_a = self.arena.get(a).freq;
+        let f_b = self.arena.get(b).freq;
+        let f_n = f_a + f_b + f_move;
+        let rho_n = if v_n > 0.0 { f_n / v_n } else { 0.0 };
+        let v_a = child_owns[pi];
+        let v_b = child_owns[pj];
+        (f_a - rho_n * v_a).abs() + (f_b - rho_n * v_b).abs() + (f_move - rho_n * v_move).abs()
     }
 
     /// Builds the sibling-merge plan for children `a`, `b` of `parent`.
+    /// Cold path: only `apply_merge` calls this (once per applied merge);
+    /// penalty evaluation during the search uses
+    /// [`StHoles::sibling_penalty`] instead.
     fn sibling_plan(&self, parent: BucketId, a: BucketId, b: BucketId) -> SiblingPlan {
         let pa = self.arena.get(parent);
         let ra = &self.arena.get(a).rect;
@@ -296,28 +717,7 @@ impl StHoles {
         let v_p_own = self.arena.own_volume(parent);
         let rho_p = if v_p_own > 0.0 { pa.freq / v_p_own } else { 0.0 };
         let f_move = (rho_p * v_move).min(pa.freq);
-
-        // Own volume of the merged bucket: its box minus all child boxes
-        // (former children of a and b, plus the participants).
-        let mut v_n = bn_rect.volume();
-        for &c in self.arena.get(a).children.iter().chain(&self.arena.get(b).children) {
-            v_n -= self.arena.get(c).rect.volume();
-        }
-        for &p in &participants {
-            v_n -= self.arena.get(p).rect.volume();
-        }
-        let v_n = v_n.max(0.0);
-
-        let f_a = self.arena.get(a).freq;
-        let f_b = self.arena.get(b).freq;
-        let f_n = f_a + f_b + f_move;
-        let rho_n = if v_n > 0.0 { f_n / v_n } else { 0.0 };
-        let v_a = self.arena.own_volume(a);
-        let v_b = self.arena.own_volume(b);
-        let penalty = (f_a - rho_n * v_a).abs()
-            + (f_b - rho_n * v_b).abs()
-            + (f_move - rho_n * v_move).abs();
-        SiblingPlan { bn_rect, participants, v_move, f_move, penalty }
+        SiblingPlan { bn_rect, participants, v_move, f_move }
     }
 
     /// Applies a merge. The operation must refer to live buckets with the
@@ -338,7 +738,8 @@ impl StHoles {
                 p.children.extend(&removed.children);
                 p.freq += removed.freq;
                 self.nonroot_count -= 1;
-                self.merge_cache.remove(&child);
+                self.arena.tighten_hull(parent);
+                self.merge_accel.mark_dirty(child);
                 self.invalidate_merges(parent);
             }
             MergeOp::Siblings { parent, a, b } => {
@@ -365,8 +766,13 @@ impl StHoles {
                 p.freq = (p.freq - plan.f_move).max(0.0);
                 let _ = plan.v_move; // kept for documentation symmetry
                 self.nonroot_count -= 1;
-                self.merge_cache.remove(&a);
-                self.merge_cache.remove(&b);
+                self.arena.tighten_hull(parent);
+                self.arena.tighten_hull(bn);
+                self.merge_accel.mark_dirty(a);
+                self.merge_accel.mark_dirty(b);
+                // `bn` may itself be a parent now — queue it for a fresh
+                // cache entry (its recycled slot may hold stale state).
+                self.merge_accel.mark_dirty(bn);
                 self.invalidate_merges(parent);
             }
         }
@@ -477,6 +883,33 @@ mod tests {
             }
             ref other => panic!("expected sibling merge, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn best_merge_matches_exhaustive_oracle() {
+        let (mut h, _a, _b, _gc) = build();
+        let oracle = h.best_merge_exhaustive();
+        let fast = h.best_merge();
+        assert_eq!(fast, oracle);
+        // Still in agreement after a structural change.
+        let op = fast.unwrap().op;
+        h.apply_merge(&op);
+        assert_eq!(h.best_merge(), h.best_merge_exhaustive());
+    }
+
+    #[test]
+    fn heap_survives_slot_recycling() {
+        // Merging and re-drilling recycles arena slots; stale heap entries
+        // for the old occupant must never be served for the new one.
+        let (mut h, _a, _b, _gc) = build();
+        while let Some(m) = h.best_merge() {
+            h.apply_merge(&m.op);
+            assert_eq!(h.best_merge(), h.best_merge_exhaustive());
+            if h.bucket_count() == 0 {
+                break;
+            }
+        }
+        assert_eq!(h.bucket_count(), 0);
     }
 
     #[test]

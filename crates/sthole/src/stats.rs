@@ -17,6 +17,10 @@ pub struct HistogramStats {
     pub subspace_buckets: usize,
     /// Buckets without children.
     pub leaves: usize,
+    /// Largest child-list length over all buckets. Flat trees (large
+    /// fanout) are the expensive case for the sibling-merge search, so
+    /// this is the number to check when refine slows down.
+    pub max_fanout: usize,
     /// Sum of all bucket frequencies.
     pub total_freq: f64,
 }
@@ -26,10 +30,12 @@ impl StHoles {
     pub fn stats(&self) -> HistogramStats {
         let mut depth = 0;
         let mut leaves = 0;
+        let mut max_fanout = 0;
         let mut stack: Vec<(BucketId, usize)> = vec![(self.root(), 0)];
         while let Some((id, d)) = stack.pop() {
             let b = self.arena().get(id);
             depth = depth.max(d);
+            max_fanout = max_fanout.max(b.children.len());
             if b.children.is_empty() {
                 leaves += 1;
             }
@@ -40,6 +46,7 @@ impl StHoles {
             depth,
             subspace_buckets: self.subspace_bucket_count(),
             leaves,
+            max_fanout,
             total_freq: self.total_freq(),
         }
     }
@@ -110,6 +117,7 @@ mod tests {
         assert_eq!(s.depth, 2);
         assert_eq!(s.subspace_buckets, 1);
         assert_eq!(s.leaves, 1);
+        assert_eq!(s.max_fanout, 1);
         assert!((s.total_freq - 9.0).abs() < 1e-9);
 
         let dump = h.dump();

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: runs the core_ops suite in fast smoke mode
+# against a scratch output file (STH_BENCH_OUT keeps the committed
+# baseline untouched), then diffs the medians of the gated groups
+# (refine, estimate) against the committed BENCH_core_ops.json.
+#
+# Fast mode is noisy, so the gate only fails on >30% regressions —
+# it exists to catch algorithmic regressions, not jitter. Override the
+# allowance by passing a percentage: `scripts/bench_gate.sh 50`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+max_regression_pct="${1:-30}"
+baseline="BENCH_core_ops.json"
+fresh="$(mktemp -t bench_gate_fresh.XXXXXX.json)"
+trap 'rm -f "$fresh"' EXIT
+
+if [[ ! -f "$baseline" ]]; then
+    echo "bench_gate.sh: missing committed baseline $baseline" >&2
+    exit 1
+fi
+
+STH_BENCH_FAST=1 STH_BENCH_OUT="$fresh" \
+    cargo bench -p sth-bench --bench core_ops --offline
+
+cargo run -p sth-bench --bin bench_gate --release --offline -- \
+    "$baseline" "$fresh" "$max_regression_pct"

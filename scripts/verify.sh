@@ -11,4 +11,10 @@ cargo build --release --offline
 cargo test -q --offline
 cargo build --examples --offline
 
+# Opt-in perf stage (not tier-1): smoke-run the core_ops benches and fail
+# on large median regressions against the committed baseline.
+if [[ "${STH_VERIFY_BENCH:-0}" == "1" ]]; then
+    scripts/bench_gate.sh
+fi
+
 echo "verify: OK"
