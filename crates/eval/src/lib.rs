@@ -19,6 +19,11 @@ mod spec;
 mod table;
 
 pub use metrics::{evaluate_self_tuning, evaluate_static, normalized_absolute_error};
-pub use runner::{run_simulation, sweep, RunConfig, RunOutcome, Variant};
+pub use runner::{run_simulation, sweep, RunConfig, RunOutcome, RunProvenance, Variant};
 pub use spec::{DatasetSpec, ExperimentCtx, PreparedDataset};
 pub use table::Table;
+
+/// The fixed seed ladder behind the freeze-after-training comparisons: one
+/// stochastic workload can (rarely) favor the frozen histogram, so tests
+/// average over these seeds instead of trusting a single draw.
+pub const FREEZE_SEED_LADDER: [u64; 3] = [7, 19, 101];

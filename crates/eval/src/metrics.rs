@@ -1,6 +1,8 @@
 //! Error metrics (Eq. 9 and Eq. 10 of the paper).
 
+use sth_geometry::Rect;
 use sth_index::{RangeCounter, ResultSetCounter};
+use sth_platform::obs;
 use sth_query::{CardinalityEstimator, SelfTuning, Workload};
 
 /// Mean Absolute Error over a workload (Eq. 9):
@@ -35,23 +37,38 @@ pub fn evaluate_self_tuning(
         return 0.0;
     }
     let mut sum = 0.0;
+    let audit = obs::audit_enabled();
     // One result-set buffer for the whole workload, refilled per query —
     // the simulation loop runs tens of thousands of queries, so per-query
     // row-buffer allocations add up.
     let mut result = ResultSetCounter::empty(1);
     for q in workload.queries() {
+        obs::incr(obs::Counter::Queries);
         if refine {
-            // Execute the query once and feed the histogram from its result
-            // stream — the deployed feedback path, and far cheaper than
-            // probing the index for every candidate hole.
+            // Execute the query once: truth comes from that single
+            // execution and is handed to the estimator, so nothing
+            // downstream re-counts the query against the index.
             if result.refill_from_counter(counter, q.rect()) {
+                // Feed the histogram from the result stream — the deployed
+                // feedback path, and far cheaper than probing the index for
+                // every candidate hole.
                 let truth = result.total() as f64;
                 sum += (estimator.estimate(q.rect()) - truth).abs();
-                estimator.refine(q.rect(), &result);
+                estimator.refine_with_truth(q.rect(), &result, truth);
             } else {
                 let truth = counter.count(q.rect()) as f64;
                 sum += (estimator.estimate(q.rect()) - truth).abs();
-                estimator.refine(q.rect(), counter);
+                let memo = QueryTruthMemo { inner: counter, rect: q.rect(), truth: truth as u64 };
+                estimator.refine_with_truth(q.rect(), &memo, truth);
+            }
+            if audit {
+                obs::incr(obs::Counter::AuditChecks);
+                if let Err(e) = estimator.audit() {
+                    panic!(
+                        "STH_AUDIT: invariant violation after refining {}: {e}",
+                        q.rect()
+                    );
+                }
             }
         } else {
             let truth = counter.count(q.rect()) as f64;
@@ -59,6 +76,31 @@ pub fn evaluate_self_tuning(
         }
     }
     sum / workload.len() as f64
+}
+
+/// Feedback wrapper for the row-less fallback path: answers a count for
+/// the full query rectangle from the already-known truth (drilling's
+/// root-level candidate is exactly the query) and delegates every
+/// sub-rectangle to the underlying counter. Keeps "one index execution per
+/// query" true even when result streams are unavailable.
+struct QueryTruthMemo<'a> {
+    inner: &'a dyn RangeCounter,
+    rect: &'a Rect,
+    truth: u64,
+}
+
+impl RangeCounter for QueryTruthMemo<'_> {
+    fn count(&self, rect: &Rect) -> u64 {
+        if rect == self.rect {
+            self.truth
+        } else {
+            self.inner.count(rect)
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.inner.total()
+    }
 }
 
 /// Normalized Absolute Error (Eq. 10): the estimator's MAE divided by the
@@ -112,6 +154,75 @@ mod tests {
             err_trained < err_raw,
             "training did not help: {err_trained} vs {err_raw}"
         );
+    }
+
+    /// A counter that can count but not materialize rows: forces the
+    /// fallback branch of `evaluate_self_tuning`.
+    struct RowlessKd<'a>(&'a KdCountTree);
+    impl RangeCounter for RowlessKd<'_> {
+        fn count(&self, rect: &sth_geometry::Rect) -> u64 {
+            self.0.count(rect)
+        }
+        fn total(&self) -> u64 {
+            self.0.total()
+        }
+    }
+
+    #[test]
+    fn one_index_execution_per_query_with_result_streams() {
+        // The deployed-cost invariant: each query runs against the index
+        // exactly once; drilling and the consistency layer answer from the
+        // result stream. Before the truth-plumbing fix, ConsistentStHoles
+        // re-counted every query for its constraint target.
+        obs::force_metrics(true);
+        let ds = CrossSpec::cross2d().scaled(0.05).generate();
+        let tree = KdCountTree::build(&ds);
+        let wl = WorkloadSpec { count: 40, ..WorkloadSpec::paper(0.01, 21) }
+            .generate(ds.domain(), None);
+        let mut est = sth_histogram::ConsistentStHoles::new(
+            sth_histogram::StHoles::with_total(ds.domain().clone(), 20, ds.len() as f64),
+            sth_histogram::ConsistencyConfig::default(),
+        );
+        let before = obs::snapshot();
+        evaluate_self_tuning(&mut est, &wl, &tree, true);
+        let d = obs::snapshot().delta(&before);
+        assert_eq!(d.get(obs::Counter::Queries), 40);
+        assert_eq!(d.get(obs::Counter::IndexProbes), 40, "exactly one probe per query");
+        assert!(d.get(obs::Counter::ResultRecounts) > 0, "candidates answered from results");
+    }
+
+    #[test]
+    fn one_index_execution_per_query_without_result_streams() {
+        // Row-less fallback: the truth count is the probe, and the memo
+        // answers drilling's full-query candidate — still one per query.
+        // (Budget 0 keeps the tree at the root so the only candidate is the
+        // query itself; before the fix this path probed twice per query.)
+        obs::force_metrics(true);
+        let ds = CrossSpec::cross2d().scaled(0.05).generate();
+        let tree = KdCountTree::build(&ds);
+        let wl = WorkloadSpec { count: 40, ..WorkloadSpec::paper(0.01, 23) }
+            .generate(ds.domain(), None);
+        let mut est = build_uninitialized(&ds, 0);
+        let before = obs::snapshot();
+        evaluate_self_tuning(&mut est, &wl, &RowlessKd(&tree), true);
+        let d = obs::snapshot().delta(&before);
+        assert_eq!(d.get(obs::Counter::IndexProbes), 40, "exactly one probe per query");
+    }
+
+    #[test]
+    fn audit_mode_checks_every_refinement() {
+        obs::force_metrics(true);
+        obs::force_audit(true);
+        let ds = CrossSpec::cross2d().scaled(0.05).generate();
+        let tree = KdCountTree::build(&ds);
+        let wl = WorkloadSpec { count: 20, ..WorkloadSpec::paper(0.01, 29) }
+            .generate(ds.domain(), None);
+        let mut est = build_uninitialized(&ds, 10);
+        let before = obs::snapshot();
+        evaluate_self_tuning(&mut est, &wl, &tree, true);
+        let d = obs::snapshot().delta(&before);
+        obs::force_audit(false);
+        assert_eq!(d.get(obs::Counter::AuditChecks), 20);
     }
 
     #[test]

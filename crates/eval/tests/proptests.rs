@@ -1,0 +1,59 @@
+//! Property-based tests for the simulation harness: across randomized run
+//! parameters, learning during simulation is no worse on average (over the
+//! fixed [`sth_eval::FREEZE_SEED_LADDER`]) than freezing the histogram after
+//! training. This is the property behind the deterministic
+//! `freeze_after_training_stops_learning` unit test; randomizing the bucket
+//! budget and workload length guards the margin against parameter luck.
+
+use sth_platform::check::prelude::*;
+
+use sth_eval::{run_simulation, DatasetSpec, ExperimentCtx, RunConfig, Variant, FREEZE_SEED_LADDER};
+
+fn tiny_ctx() -> ExperimentCtx {
+    ExperimentCtx {
+        scale: 0.05,
+        train: 60,
+        sim: 60,
+        buckets: vec![20],
+        cluster_sample: None,
+        seed: 0xAB,
+    }
+}
+
+check! {
+    cases = 4;
+
+    #[test]
+    fn freeze_is_no_better_on_average(
+        buckets in 12usize..25,
+        sim in 45usize..70,
+    ) {
+        let prep = tiny_ctx().prepare(DatasetSpec::Cross2d);
+        let mut live_sum = 0.0;
+        let mut frozen_sum = 0.0;
+        for seed in FREEZE_SEED_LADDER {
+            let cfg = RunConfig {
+                freeze_after_training: true,
+                train: 5,
+                sim,
+                ..RunConfig::paper(buckets, seed)
+            };
+            let frozen = run_simulation(&prep, &Variant::Uninitialized, &cfg);
+            let live = run_simulation(
+                &prep,
+                &Variant::Uninitialized,
+                &RunConfig { freeze_after_training: false, ..cfg },
+            );
+            prop_assert!(live.nae.is_finite() && frozen.nae.is_finite());
+            live_sum += live.nae;
+            frozen_sum += frozen.nae;
+        }
+        let n = FREEZE_SEED_LADDER.len() as f64;
+        prop_assert!(
+            live_sum / n <= frozen_sum / n + 0.05,
+            "learning during simulation hurt on average: live mean {} vs frozen mean {}",
+            live_sum / n,
+            frozen_sum / n
+        );
+    }
+}

@@ -8,6 +8,7 @@
 //! > 20,000-query experiments tractable.
 
 use sth_geometry::Rect;
+use sth_platform::obs;
 
 use crate::RangeCounter;
 
@@ -170,10 +171,14 @@ impl KdCountTree {
 
 impl RangeCounter for KdCountTree {
     fn count(&self, rect: &Rect) -> u64 {
+        obs::incr(obs::Counter::IndexProbes);
         if self.total == 0 {
             return 0;
         }
         let mut hits = 0u64;
+        // Accumulated locally (one register add per node) and flushed once:
+        // the traversal loop is the probe hot path.
+        let mut visited = 0u64;
         let mut stack = [0u32; 64];
         let mut top = 0usize;
         stack[top] = self.root;
@@ -188,6 +193,7 @@ impl RangeCounter for KdCountTree {
             } else {
                 break;
             };
+            visited += 1;
             match &self.nodes[id as usize] {
                 Node::Leaf { bbox, start, end } => {
                     if rect.intersects(bbox) {
@@ -213,6 +219,7 @@ impl RangeCounter for KdCountTree {
                 }
             }
         }
+        obs::add(obs::Counter::KdNodesVisited, visited);
         hits
     }
 
@@ -228,6 +235,7 @@ impl RangeCounter for KdCountTree {
 
     fn collect_rows_into(&self, rect: &Rect, out: &mut Vec<f64>) -> Option<usize> {
         out.clear();
+        obs::incr(obs::Counter::IndexProbes);
         if self.total == 0 {
             return Some(self.ndim.max(1));
         }
@@ -254,6 +262,7 @@ impl RangeCounter for KdCountTree {
                 }
             }
         }
+        obs::note_rows_materialized(out.len() / self.ndim);
         Some(self.ndim)
     }
 }

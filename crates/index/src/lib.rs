@@ -14,6 +14,7 @@ mod kdtree;
 pub use kdtree::KdCountTree;
 
 use sth_geometry::Rect;
+use sth_platform::obs;
 
 /// Something that can count tuples inside a rectangle, exactly.
 ///
@@ -66,6 +67,7 @@ impl<'a> ScanCounter<'a> {
 
 impl RangeCounter for ScanCounter<'_> {
     fn count(&self, rect: &Rect) -> u64 {
+        obs::incr(obs::Counter::IndexProbes);
         self.data.count_in_scan(rect)
     }
 
@@ -89,6 +91,8 @@ impl RangeCounter for ScanCounter<'_> {
                 }
             }
         }
+        obs::incr(obs::Counter::IndexProbes);
+        obs::note_rows_materialized(out.len() / d.max(1));
         Some(d)
     }
 }
@@ -187,6 +191,14 @@ impl ResultSetCounter {
 
 impl RangeCounter for ResultSetCounter {
     fn count(&self, rect: &Rect) -> u64 {
+        // An empty result set is dimension-agnostic: `new(vec![])` and
+        // friends cannot know the query's ndim (they default to 1), and
+        // every count over no rows is 0 regardless of dimensionality — so
+        // answer before the dimension check.
+        if self.rows.is_empty() {
+            return 0;
+        }
+        obs::incr(obs::Counter::ResultRecounts);
         debug_assert_eq!(rect.ndim(), self.ndim);
         let lo = rect.lo();
         let hi = rect.hi();
@@ -262,6 +274,30 @@ mod tests {
         fn total(&self) -> u64 {
             0
         }
+    }
+
+    #[test]
+    fn empty_result_set_counts_any_dimensionality() {
+        // Regression: `new(vec![])` defaults ndim to 1 and used to trip the
+        // dimension debug-assert on ≥2-d queries; empty counters must be
+        // dimension-agnostic.
+        let q3 = sth_geometry::Rect::cube(3, 0.0, 10.0);
+        for empty in [
+            ResultSetCounter::new(vec![]),
+            ResultSetCounter::from_flat(vec![], 1),
+            ResultSetCounter::empty(1),
+        ] {
+            assert_eq!(empty.count(&q3), 0);
+            assert_eq!(empty.count(&sth_geometry::Rect::cube(7, -1.0, 1.0)), 0);
+            assert_eq!(empty.total(), 0);
+            assert!(empty.is_empty());
+        }
+        // Refilling from a query that matches nothing must stay safe too.
+        let ds = CrossSpec::cross2d().scaled(0.01).generate();
+        let mut reused = ResultSetCounter::empty(ds.ndim());
+        let miss = sth_geometry::Rect::from_bounds(&[2000.0, 2000.0], &[3000.0, 3000.0]);
+        assert!(reused.refill_from_counter(&ScanCounter::new(&ds), &miss));
+        assert_eq!(reused.count(&sth_geometry::Rect::cube(5, 0.0, 1.0)), 0);
     }
 
     #[test]

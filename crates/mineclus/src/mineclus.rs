@@ -1,5 +1,6 @@
 //! The MineClus algorithm.
 
+use sth_platform::obs;
 use sth_platform::rng::{Rng, SliceRandom};
 use sth_data::Dataset;
 
@@ -128,6 +129,7 @@ impl MineClus {
             pool.truncate(self.config.medoid_trials);
             pool
         };
+        obs::add(obs::Counter::ClusterTrials, trials.len() as u64);
         for medoid_id in trials {
             let medoid = data.row(medoid_id as usize);
             let masks = self.itemsets(data, active, &medoid);
@@ -156,13 +158,19 @@ impl SubspaceClustering for MineClus {
         if n == 0 {
             return Vec::new();
         }
+        let _span = obs::span("mineclus.cluster");
         let min_support = ((self.config.alpha * n as f64).ceil() as usize).max(2);
         let mut rng = Rng::seed_from_u64(self.config.seed);
         let mut active: Vec<u32> = (0..n as u32).collect();
         let mut clusters = Vec::new();
         while clusters.len() < self.config.max_clusters && active.len() >= min_support {
-            let Some((mined, members)) = self.best_round(data, &active, min_support, &mut rng)
-            else {
+            let round_start = obs::metrics_enabled().then(std::time::Instant::now);
+            let round = self.best_round(data, &active, min_support, &mut rng);
+            obs::incr(obs::Counter::ClusterRounds);
+            if let Some(t0) = round_start {
+                obs::record(obs::StatKind::ClusterRoundSecs, t0.elapsed().as_secs_f64());
+            }
+            let Some((mined, members)) = round else {
                 break;
             };
             debug_assert!(members.len() >= min_support);

@@ -18,6 +18,9 @@
 //! * [`par`] — scoped-parallelism helpers over [`std::thread::scope`]:
 //!   chunked fan-out with a worker-count heuristic. Replaces
 //!   `crossbeam::thread::scope`.
+//! * [`obs`] — thread-local counters, value-distribution stats, RAII span
+//!   timers, and a JSON-lines event log, gated at runtime by
+//!   `STH_METRICS`/`STH_TRACE`. Replaces `tracing` + `metrics`.
 //!
 //! ## Determinism contract
 //!
@@ -32,5 +35,6 @@
 
 pub mod bench;
 pub mod check;
+pub mod obs;
 pub mod par;
 pub mod rng;

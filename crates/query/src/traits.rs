@@ -26,6 +26,26 @@ pub trait SelfTuning: CardinalityEstimator {
     /// Observes one executed query and refines the synopsis.
     fn refine(&mut self, query: &Rect, feedback: &dyn RangeCounter);
 
+    /// Like [`SelfTuning::refine`], but with the query's true cardinality
+    /// already in hand. The simulation loop always knows it (it just
+    /// measured the estimation error against it), and a deployed system
+    /// gets it for free from the executed query's result — so estimators
+    /// that would otherwise re-count the full query (e.g. to record a
+    /// feedback constraint) must use `truth` instead. The default ignores
+    /// the hint.
+    fn refine_with_truth(&mut self, query: &Rect, feedback: &dyn RangeCounter, truth: f64) {
+        let _ = truth;
+        self.refine(query, feedback);
+    }
+
+    /// Verifies the estimator's internal invariants; returns a description
+    /// of the first violation. The `STH_AUDIT=1` mode of the evaluation
+    /// loop calls this after every refinement. Estimators without checkable
+    /// structure keep the default (always `Ok`).
+    fn audit(&self) -> Result<(), String> {
+        Ok(())
+    }
+
     /// Stops/starts learning. Frozen estimators ignore [`SelfTuning::refine`]
     /// calls; the paper uses this in the Fig. 17 experiment where refinement
     /// is disabled after the training phase.

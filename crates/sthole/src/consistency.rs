@@ -22,6 +22,7 @@ use std::collections::VecDeque;
 
 use sth_geometry::Rect;
 use sth_index::RangeCounter;
+use sth_platform::obs;
 use sth_query::{CardinalityEstimator, SelfTuning};
 
 use crate::{BucketId, StHoles};
@@ -33,21 +34,42 @@ pub struct ConsistencyConfig {
     ///
     /// Keep this below the bucket budget: once merges coarsen the structure
     /// past what the remembered constraints require, the constraint system
-    /// becomes unrepresentable and IPF can only approximate it (ISOMER's
-    /// answer to the same problem is discarding constraints whose buckets
-    /// merged).
+    /// becomes unrepresentable and IPF can only approximate it; persistently
+    /// unrepresentable constraints are then invalidated (see
+    /// [`ConsistencyConfig::drop_violation`]).
     pub max_constraints: usize,
     /// IPF sweeps per refinement.
     pub ipf_rounds: usize,
     /// Relative tolerance at which a constraint counts as satisfied.
     pub tolerance: f64,
+    /// ISOMER-style constraint invalidation: a constraint whose relative
+    /// violation still exceeds this threshold after IPF on two consecutive
+    /// refinements is dropped from the window. Merges can make old
+    /// constraints unrepresentable; keeping them forever makes IPF chase
+    /// targets the bucket structure cannot hit and drags every other
+    /// constraint with it. `f64::INFINITY` disables dropping.
+    pub drop_violation: f64,
 }
 
 impl Default for ConsistencyConfig {
     fn default() -> Self {
-        Self { max_constraints: 128, ipf_rounds: 3, tolerance: 0.01 }
+        Self { max_constraints: 128, ipf_rounds: 3, tolerance: 0.01, drop_violation: 0.5 }
     }
 }
+
+/// One remembered feedback record: a query, its true cardinality, and how
+/// many consecutive post-IPF passes it has spent above the drop threshold.
+#[derive(Clone, Debug)]
+struct Constraint {
+    rect: Rect,
+    target: f64,
+    strikes: u8,
+}
+
+/// Consecutive violated passes before a constraint is invalidated. Two, so
+/// a constraint transiently violated right after a drill reshuffled mass
+/// gets one IPF pass to recover before it is written off.
+const DROP_STRIKES: u8 = 2;
 
 /// STHoles + a sliding window of feedback constraints enforced by iterative
 /// proportional fitting.
@@ -55,7 +77,8 @@ impl Default for ConsistencyConfig {
 pub struct ConsistentStHoles {
     hist: StHoles,
     config: ConsistencyConfig,
-    constraints: VecDeque<(Rect, f64)>,
+    constraints: VecDeque<Constraint>,
+    dropped: usize,
 }
 
 impl ConsistentStHoles {
@@ -63,7 +86,8 @@ impl ConsistentStHoles {
     pub fn new(hist: StHoles, config: ConsistencyConfig) -> Self {
         assert!(config.max_constraints >= 1);
         assert!(config.ipf_rounds >= 1);
-        Self { hist, config, constraints: VecDeque::new() }
+        assert!(config.drop_violation > 0.0);
+        Self { hist, config, constraints: VecDeque::new(), dropped: 0 }
     }
 
     /// The underlying histogram.
@@ -76,6 +100,12 @@ impl ConsistentStHoles {
         self.constraints.len()
     }
 
+    /// Constraints invalidated so far for staying unrepresentable after
+    /// IPF (ISOMER's answer to merges outliving the feedback they served).
+    pub fn dropped_constraint_count(&self) -> usize {
+        self.dropped
+    }
+
     /// Maximum relative violation over the remembered constraints.
     /// Constraints with single-digit targets in near-empty regions can stay
     /// off by a few tuples when their rectangles only graze large buckets;
@@ -83,10 +113,7 @@ impl ConsistentStHoles {
     pub fn max_violation(&self) -> f64 {
         self.constraints
             .iter()
-            .map(|(q, target)| {
-                let est = self.hist.estimate(q);
-                (est - target).abs() / target.max(1.0)
-            })
+            .map(|c| Self::violation(&self.hist, c))
             .fold(0.0, f64::max)
     }
 
@@ -95,14 +122,40 @@ impl ConsistentStHoles {
         if self.constraints.is_empty() {
             return 0.0;
         }
-        self.constraints
-            .iter()
-            .map(|(q, target)| {
-                let est = self.hist.estimate(q);
-                (est - target).abs() / target.max(1.0)
-            })
-            .sum::<f64>()
+        self.constraints.iter().map(|c| Self::violation(&self.hist, c)).sum::<f64>()
             / self.constraints.len() as f64
+    }
+
+    fn violation(hist: &StHoles, c: &Constraint) -> f64 {
+        (hist.estimate(&c.rect) - c.target).abs() / c.target.max(1.0)
+    }
+
+    /// The ISOMER invalidation pass: bump the strike count of every
+    /// constraint still violated beyond `drop_violation` after IPF, reset
+    /// it on satisfied ones, and drop the repeat offenders.
+    fn invalidate_unrepresentable(&mut self) {
+        if !self.config.drop_violation.is_finite() {
+            return;
+        }
+        let threshold = self.config.drop_violation;
+        let hist = &self.hist;
+        let mut dropped_now = 0usize;
+        self.constraints.retain_mut(|c| {
+            if Self::violation(hist, c) > threshold {
+                c.strikes += 1;
+                if c.strikes >= DROP_STRIKES {
+                    dropped_now += 1;
+                    return false;
+                }
+            } else {
+                c.strikes = 0;
+            }
+            true
+        });
+        if dropped_now > 0 {
+            self.dropped += dropped_now;
+            obs::add(obs::Counter::ConstraintsDropped, dropped_now as u64);
+        }
     }
 
     /// One IPF sweep: for each constraint, scale the bucket mass inside the
@@ -112,9 +165,13 @@ impl ConsistentStHoles {
     /// partially; a short inner loop closes the gap.
     fn ipf_sweep(&mut self) {
         const INNER: usize = 4;
-        let constraints: Vec<(Rect, f64)> = self.constraints.iter().cloned().collect();
+        obs::incr(obs::Counter::IpfSweeps);
+        let mut inner_iters = 0u64;
+        let constraints: Vec<(Rect, f64)> =
+            self.constraints.iter().map(|c| (c.rect.clone(), c.target)).collect();
         for (q, target) in constraints {
             for _ in 0..INNER {
+                inner_iters += 1;
                 let est = self.hist.estimate(&q);
                 if est > 1e-9 {
                     let ratio = target / est;
@@ -131,6 +188,7 @@ impl ConsistentStHoles {
                 }
             }
         }
+        obs::add(obs::Counter::IpfInnerIters, inner_iters);
     }
 }
 
@@ -210,9 +268,20 @@ impl SelfTuning for ConsistentStHoles {
         if self.hist.frozen() {
             return;
         }
+        // No truth supplied: pay one count for it, then take the shared
+        // path. Callers that already executed the query should use
+        // `refine_with_truth` and skip this probe.
+        let truth = feedback.count(query) as f64;
+        self.refine_with_truth(query, feedback, truth);
+    }
+
+    fn refine_with_truth(&mut self, query: &Rect, feedback: &dyn RangeCounter, truth: f64) {
+        if self.hist.frozen() {
+            return;
+        }
         self.hist.refine(query, feedback);
-        let target = feedback.count(query) as f64;
-        self.constraints.push_back((query.clone(), target));
+        self.constraints.push_back(Constraint { rect: query.clone(), target: truth, strikes: 0 });
+        obs::incr(obs::Counter::ConstraintsAdded);
         while self.constraints.len() > self.config.max_constraints {
             self.constraints.pop_front();
         }
@@ -222,6 +291,10 @@ impl SelfTuning for ConsistentStHoles {
                 break;
             }
         }
+        self.invalidate_unrepresentable();
+        if obs::metrics_enabled() {
+            obs::record(obs::StatKind::IpfViolation, self.mean_violation());
+        }
     }
 
     fn set_frozen(&mut self, frozen: bool) {
@@ -230,6 +303,10 @@ impl SelfTuning for ConsistentStHoles {
 
     fn frozen(&self) -> bool {
         self.hist.frozen()
+    }
+
+    fn audit(&self) -> Result<(), String> {
+        self.hist.check_invariants()
     }
 }
 
@@ -261,7 +338,10 @@ mod tests {
         for q in wl.queries() {
             c.refine(q.rect(), &tree);
         }
-        assert_eq!(c.constraint_count(), 30);
+        // Invalidation may shed a few unrepresentable constraints, but the
+        // window never exceeds its bound and never empties here.
+        assert!(c.constraint_count() <= 30);
+        assert!(c.constraint_count() > 0);
         assert!(
             c.mean_violation() < 0.15,
             "constraints badly violated on average: {}",
@@ -360,6 +440,91 @@ mod tests {
         for q in wl.queries() {
             c.refine(q.rect(), &scan);
         }
-        assert_eq!(c.constraint_count(), 10);
+        assert!(c.constraint_count() <= 10);
+        assert!(c.constraint_count() > 0);
+    }
+
+    #[test]
+    fn merges_under_tight_budget_invalidate_stale_constraints() {
+        // A bucket budget far below the constraint window: merges keep
+        // coarsening the structure past what old constraints require, so
+        // IPF cannot satisfy them all. The invalidation pass must drop the
+        // unrepresentable ones and keep the mean violation bounded.
+        let (ds, tree) = setup();
+        let make = |drop_violation: f64| {
+            let hist = StHoles::with_total(ds.domain().clone(), 6, ds.len() as f64);
+            ConsistentStHoles::new(
+                hist,
+                ConsistencyConfig {
+                    max_constraints: 64,
+                    drop_violation,
+                    ..ConsistencyConfig::default()
+                },
+            )
+        };
+        let wl = WorkloadSpec { count: 120, ..WorkloadSpec::paper(0.01, 17) }
+            .generate(ds.domain(), None);
+        let mut dropping = make(0.5);
+        let mut keeping = make(f64::INFINITY);
+        for q in wl.queries() {
+            dropping.refine(q.rect(), &tree);
+            keeping.refine(q.rect(), &tree);
+        }
+        assert!(
+            dropping.dropped_constraint_count() > 0,
+            "tight budget never invalidated a constraint"
+        );
+        assert_eq!(keeping.dropped_constraint_count(), 0);
+        assert!(
+            dropping.mean_violation() <= keeping.mean_violation() + 1e-9,
+            "dropping made the window worse: {} vs {}",
+            dropping.mean_violation(),
+            keeping.mean_violation()
+        );
+        assert!(
+            dropping.mean_violation() < 0.5,
+            "mean violation unbounded: {}",
+            dropping.mean_violation()
+        );
+        dropping.inner().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn refine_with_truth_saves_exactly_one_probe() {
+        // The constraint target comes from the caller-supplied truth, so
+        // `refine_with_truth` must issue exactly one fewer feedback count
+        // than plain `refine` on an identical histogram.
+        sth_platform::obs::force_metrics(true);
+        use sth_platform::obs::{snapshot, Counter};
+        let (ds, tree) = setup();
+        let q = wlq(&ds);
+        let truth = ds.count_in_scan(&q) as f64;
+
+        let mut plain = ConsistentStHoles::new(
+            StHoles::with_total(ds.domain().clone(), 20, ds.len() as f64),
+            ConsistencyConfig::default(),
+        );
+        let before = snapshot();
+        plain.refine(&q, &tree);
+        let plain_probes = snapshot().delta(&before).get(Counter::IndexProbes);
+
+        let mut with_truth = ConsistentStHoles::new(
+            StHoles::with_total(ds.domain().clone(), 20, ds.len() as f64),
+            ConsistencyConfig::default(),
+        );
+        let before = snapshot();
+        with_truth.refine_with_truth(&q, &tree, truth);
+        let truth_probes = snapshot().delta(&before).get(Counter::IndexProbes);
+
+        assert_eq!(plain_probes, truth_probes + 1);
+        assert_eq!(plain.constraint_count(), with_truth.constraint_count());
+        assert!((plain.estimate(&q) - with_truth.estimate(&q)).abs() < 1e-9);
+    }
+
+    /// One representative mid-size query over the cross dataset.
+    fn wlq(ds: &sth_data::Dataset) -> Rect {
+        let wl = WorkloadSpec { count: 1, ..WorkloadSpec::paper(0.01, 3) }
+            .generate(ds.domain(), None);
+        wl.queries()[0].rect().clone()
     }
 }

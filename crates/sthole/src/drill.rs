@@ -69,7 +69,11 @@ impl StHoles {
         while let Some(id) = stack.pop() {
             out.push(id);
             let b = arena.get(id);
-            if b.children.is_empty() || !q.intersects_packed(arena.hull(id)) {
+            if b.children.is_empty() {
+                continue;
+            }
+            if !q.intersects_packed(arena.hull(id)) {
+                sth_platform::obs::incr(sth_platform::obs::Counter::HullGatePrunes);
                 continue;
             }
             for &c in &b.children {
@@ -188,6 +192,7 @@ impl StHoles {
         b.children.push(hole);
         b.freq = (b.freq - t_c).max(0.0);
         self.nonroot_count += 1;
+        sth_platform::obs::incr(sth_platform::obs::Counter::Drills);
         self.arena.tighten_hull(id);
         if !self.scratch.participants.is_empty() {
             self.arena.tighten_hull(hole);

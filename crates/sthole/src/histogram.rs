@@ -253,13 +253,17 @@ impl StHoles {
         // Children-hull gate: when the query misses the cached hull it
         // misses every child, so all overlaps below would be zero — the
         // skip is exact, not approximate.
-        if !b.children.is_empty() && qb.intersects_packed(self.arena.hull(id)) {
-            for &c in &b.children {
-                let overlap = qb.overlap_volume_packed(self.arena.bounds(c));
-                if overlap > 0.0 {
-                    v_q_own -= overlap;
-                    est += self.estimate_rec(c, q);
+        if !b.children.is_empty() {
+            if qb.intersects_packed(self.arena.hull(id)) {
+                for &c in &b.children {
+                    let overlap = qb.overlap_volume_packed(self.arena.bounds(c));
+                    if overlap > 0.0 {
+                        v_q_own -= overlap;
+                        est += self.estimate_rec(c, q);
+                    }
                 }
+            } else {
+                sth_platform::obs::incr(sth_platform::obs::Counter::HullGatePrunes);
             }
         }
         let v_own = self.arena.own_volume(id);
@@ -373,6 +377,10 @@ impl SelfTuning for StHoles {
 
     fn frozen(&self) -> bool {
         self.frozen
+    }
+
+    fn audit(&self) -> Result<(), String> {
+        self.check_invariants()
     }
 }
 

@@ -322,6 +322,7 @@ impl StHoles {
         let live = accel.cache.len();
         let stale_heavy = |len: usize| len > 64 && len > 4 * live;
         if stale_heavy(accel.heap_pc.len()) || stale_heavy(accel.heap_sib.len()) {
+            sth_platform::obs::incr(sth_platform::obs::Counter::HeapRebuilds);
             accel.heap_pc.clear();
             accel.heap_sib.clear();
             for (&id, entry) in &accel.cache {
@@ -723,6 +724,7 @@ impl StHoles {
     /// Applies a merge. The operation must refer to live buckets with the
     /// stated relationships.
     pub(crate) fn apply_merge(&mut self, op: &MergeOp) {
+        sth_platform::obs::incr(sth_platform::obs::Counter::Merges);
         match *op {
             MergeOp::ParentChild { parent, child } => {
                 debug_assert_eq!(self.arena.get(child).parent, Some(parent));

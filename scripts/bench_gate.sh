@@ -10,6 +10,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# The gate measures the *disabled* cost of the observability layer: with
+# these unset, every obs hook must be a relaxed load + branch (DESIGN.md
+# "Observability"). Tracing to a file would make the numbers meaningless.
+unset STH_TRACE STH_METRICS STH_AUDIT
+
 max_regression_pct="${1:-30}"
 baseline="BENCH_core_ops.json"
 fresh="$(mktemp -t bench_gate_fresh.XXXXXX.json)"

@@ -11,6 +11,17 @@ cargo build --release --offline
 cargo test -q --offline
 cargo build --examples --offline
 
+# Observability acceptance: run the demo with audit mode on and tracing to
+# a scratch file. The example itself asserts the one-probe-per-query
+# invariant, re-checks histogram invariants after every refinement
+# (STH_AUDIT=1), and validates that the emitted event log parses and
+# covers clustering, drilling, merging, IPF and index probes.
+trace_log="$(mktemp -t sth_verify_trace.XXXXXX.jsonl)"
+trap 'rm -f "$trace_log"' EXIT
+STH_TRACE="$trace_log" STH_AUDIT=1 \
+    cargo run -q --release --offline --example observability > /dev/null
+echo "verify: observability example OK ($(wc -l < "$trace_log") trace events)"
+
 # Opt-in perf stage (not tier-1): smoke-run the core_ops benches and fail
 # on large median regressions against the committed baseline.
 if [[ "${STH_VERIFY_BENCH:-0}" == "1" ]]; then
