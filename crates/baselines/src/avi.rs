@@ -5,7 +5,7 @@
 
 use sth_data::Dataset;
 use sth_geometry::Rect;
-use sth_query::CardinalityEstimator;
+use sth_query::{CardinalityEstimator, Estimator};
 
 /// One equi-depth 1-D histogram: bucket boundaries plus per-bucket counts.
 #[derive(Clone, Debug)]
@@ -119,6 +119,16 @@ impl CardinalityEstimator for AviHistogram {
 
     fn name(&self) -> &str {
         "avi"
+    }
+}
+
+impl Estimator for AviHistogram {
+    fn ndim(&self) -> usize {
+        self.columns.len()
+    }
+
+    fn bucket_count(&self) -> usize {
+        self.columns.iter().map(|c| c.counts.len()).sum()
     }
 }
 

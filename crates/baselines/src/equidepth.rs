@@ -2,7 +2,7 @@
 
 use sth_data::Dataset;
 use sth_geometry::Rect;
-use sth_query::CardinalityEstimator;
+use sth_query::{CardinalityEstimator, Estimator};
 
 /// A static multidimensional histogram built by greedy recursive splitting:
 /// repeatedly take the bucket with the most tuples and split it at the
@@ -98,6 +98,17 @@ impl CardinalityEstimator for EquiDepthHistogram {
 
     fn name(&self) -> &str {
         "equidepth"
+    }
+}
+
+impl Estimator for EquiDepthHistogram {
+    fn ndim(&self) -> usize {
+        // `build` always seeds at least the domain bucket.
+        self.buckets[0].0.ndim()
+    }
+
+    fn bucket_count(&self) -> usize {
+        self.buckets.len()
     }
 }
 

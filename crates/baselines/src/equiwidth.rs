@@ -2,7 +2,7 @@
 
 use sth_data::Dataset;
 use sth_geometry::Rect;
-use sth_query::CardinalityEstimator;
+use sth_query::{CardinalityEstimator, Estimator};
 
 /// A d-dimensional equi-width grid: `cells_per_dim^d` cells with exact
 /// counts, uniformity assumed within each cell. Simple, static, and — like
@@ -121,6 +121,16 @@ impl CardinalityEstimator for EquiWidthGrid {
 
     fn name(&self) -> &str {
         "equiwidth"
+    }
+}
+
+impl Estimator for EquiWidthGrid {
+    fn ndim(&self) -> usize {
+        self.domain.ndim()
+    }
+
+    fn bucket_count(&self) -> usize {
+        self.counts.len()
     }
 }
 

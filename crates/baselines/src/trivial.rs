@@ -1,7 +1,7 @@
 //! The trivial single-bucket histogram `H0`.
 
 use sth_geometry::Rect;
-use sth_query::CardinalityEstimator;
+use sth_query::{CardinalityEstimator, Estimator};
 
 /// `H0`: one bucket storing only the table cardinality, with the uniformity
 /// assumption over the whole domain. Used by the paper to normalize errors
@@ -43,6 +43,16 @@ impl CardinalityEstimator for TrivialHistogram {
 
     fn name(&self) -> &str {
         "trivial"
+    }
+}
+
+impl Estimator for TrivialHistogram {
+    fn ndim(&self) -> usize {
+        self.domain.ndim()
+    }
+
+    fn bucket_count(&self) -> usize {
+        1
     }
 }
 

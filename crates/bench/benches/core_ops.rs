@@ -1,14 +1,16 @@
-//! Microbenchmarks of the histogram's core operations: estimation, hole
-//! drilling, merge search, and exact range counting (k-d tree vs scan).
+//! Microbenchmarks of the histogram's core operations: estimation (live
+//! and frozen read path), hole drilling, merge search, the concurrent
+//! serve loop, and exact range counting (k-d tree vs scan).
 
 use std::time::Duration;
 
 use sth_platform::bench::{black_box, Bench};
 use sth_bench::cross_fixture;
 use sth_core::build_uninitialized;
+use sth_eval::{serve_concurrent, ServeConfig};
 use sth_geometry::Rect;
 use sth_index::{RangeCounter, ScanCounter};
-use sth_query::{CardinalityEstimator, SelfTuning, WorkloadSpec};
+use sth_query::{CardinalityEstimator, Estimator, SelfTuning, WorkloadSpec};
 
 /// Builds a trained histogram with ~`buckets` buckets for estimation
 /// benches.
@@ -37,6 +39,61 @@ fn bench_estimate(c: &mut Bench) {
                 let q = &probes[i % probes.len()];
                 i += 1;
                 black_box(h.estimate(q))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_estimate_frozen(c: &mut Bench) {
+    // The packed read path against the same probes as `estimate`: function
+    // names match across the two groups so the reports compare directly.
+    let mut g = c.benchmark_group("estimate_frozen");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for buckets in [50usize, 250] {
+        let (h, probes) = trained_histogram(buckets);
+        let frozen = h.freeze();
+        g.bench_function(format!("buckets_{buckets}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &probes[i % probes.len()];
+                i += 1;
+                black_box(frozen.estimate(q))
+            });
+        });
+        // The batch entry point amortizes the traversal scratch across
+        // queries — the shape the serve loop actually runs.
+        g.bench_function(format!("batch64_buckets_{buckets}"), |b| {
+            let mut out = Vec::with_capacity(probes.len());
+            b.iter(|| {
+                out.clear();
+                frozen.estimate_batch(&probes, &mut out);
+                black_box(out.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_serve_concurrent(c: &mut Bench) {
+    // One full train-while-serving run: trainer refines + republishes,
+    // scope_map readers answer batches from pinned snapshots.
+    let prep = cross_fixture();
+    let wl = WorkloadSpec { count: 160, ..WorkloadSpec::paper(0.01, 11) }
+        .generate(prep.data.domain(), None);
+    let (train, serve) = wl.split_train(96);
+    let mut g = c.benchmark_group("serve_concurrent");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    for readers in [2usize, 4] {
+        g.bench_function(format!("readers_{readers}"), |b| {
+            let cfg = ServeConfig { readers, batch: 16, republish_every: 24 };
+            b.iter(|| {
+                let mut h = build_uninitialized(&prep.data, 50);
+                let report = serve_concurrent(&mut h, &train, &serve, &*prep.index, &cfg);
+                black_box(report.answered())
             });
         });
     }
@@ -153,6 +210,8 @@ fn main() {
     let mut c = Bench::new("core_ops")
         .output_at(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core_ops.json"));
     bench_estimate(&mut c);
+    bench_estimate_frozen(&mut c);
+    bench_serve_concurrent(&mut c);
     bench_refine(&mut c);
     bench_refine_steady(&mut c);
     bench_traversal(&mut c);

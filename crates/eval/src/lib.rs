@@ -15,11 +15,13 @@
 pub mod experiments;
 mod metrics;
 mod runner;
+mod serve;
 mod spec;
 mod table;
 
 pub use metrics::{evaluate_self_tuning, evaluate_static, normalized_absolute_error};
 pub use runner::{run_simulation, sweep, RunConfig, RunOutcome, RunProvenance, Variant};
+pub use serve::{freeze_for_serving, serve_concurrent, ReaderStats, ServeConfig, ServeReport};
 pub use spec::{DatasetSpec, ExperimentCtx, PreparedDataset};
 pub use table::Table;
 

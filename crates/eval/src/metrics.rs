@@ -3,12 +3,12 @@
 use sth_geometry::Rect;
 use sth_index::{RangeCounter, ResultSetCounter};
 use sth_platform::obs;
-use sth_query::{CardinalityEstimator, SelfTuning, Workload};
+use sth_query::{Estimator, SelfTuning, Workload};
 
 /// Mean Absolute Error over a workload (Eq. 9):
 /// `E(H, W) = 1/|W| Σ |est(H, q) − real(q)|` for a *static* estimator.
 pub fn evaluate_static(
-    estimator: &dyn CardinalityEstimator,
+    estimator: &dyn Estimator,
     workload: &Workload,
     counter: &dyn RangeCounter,
 ) -> f64 {
@@ -17,6 +17,7 @@ pub fn evaluate_static(
     }
     let mut sum = 0.0;
     for q in workload.queries() {
+        debug_assert_eq!(estimator.ndim(), q.rect().ndim());
         let truth = counter.count(q.rect()) as f64;
         sum += (estimator.estimate(q.rect()) - truth).abs();
     }

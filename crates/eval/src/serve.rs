@@ -1,0 +1,313 @@
+//! The concurrent serve loop: the read/write split, end to end.
+//!
+//! A trainer thread owns the mutable [`StHoles`] and walks the training
+//! workload, refining after every query and republishing a fresh
+//! [`FrozenHistogram`] into a [`SnapshotCell`] every `republish_every`
+//! queries. Meanwhile [`sth_platform::par::scope_map`] reader workers
+//! answer estimate batches from whatever snapshot is current, pinning one
+//! coherent snapshot per batch via [`SnapshotCell::load`]. The write-path
+//! machinery (merge accelerator, refine scratch) stays on the trainer
+//! thread; readers touch only packed immutable arrays.
+//!
+//! Under `STH_AUDIT=1` every loaded snapshot is structurally verified
+//! before serving from it — a torn or half-published snapshot would fail
+//! [`FrozenHistogram::check_invariants`] and panic the run.
+//!
+//! The loop terminates cleanly: the trainer publishes a final snapshot of
+//! the fully trained histogram, then raises a done flag; each reader
+//! drains one last batch *after* observing the flag, so every reader is
+//! guaranteed to have served from the final epoch. Because the trainer
+//! also waits for the first reader load before refining, the initial
+//! (epoch 1) snapshot is observed too — every run therefore serves from
+//! at least two distinct epochs.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use sth_geometry::Rect;
+use sth_histogram::{FrozenHistogram, StHoles};
+use sth_index::{RangeCounter, ResultSetCounter};
+use sth_platform::obs;
+use sth_platform::snap::SnapshotCell;
+use sth_query::{Estimator, SelfTuning, Workload};
+
+/// Knobs for [`serve_concurrent`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Reader worker count (the actual thread count is additionally
+    /// bounded by [`sth_platform::par::worker_count`]).
+    pub readers: usize,
+    /// Queries estimated per loaded snapshot.
+    pub batch: usize,
+    /// Trainer queries between republishes.
+    pub republish_every: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { readers: 4, batch: 32, republish_every: 50 }
+    }
+}
+
+/// What one reader worker did.
+#[derive(Clone, Debug, Default)]
+pub struct ReaderStats {
+    /// Batches served.
+    pub batches: u64,
+    /// Individual estimates answered.
+    pub answered: u64,
+    /// Snapshots verified under `STH_AUDIT`.
+    pub audited: u64,
+    /// Distinct snapshot epochs this reader served from.
+    pub epochs: Vec<u64>,
+}
+
+/// Outcome of one [`serve_concurrent`] run.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Snapshots the trainer republished (excluding the initial one).
+    pub publishes: u64,
+    /// Epoch of the last published snapshot.
+    pub final_epoch: u64,
+    /// Per-reader tallies, in reader order.
+    pub readers: Vec<ReaderStats>,
+    /// Distinct epochs served from, across all readers, ascending.
+    pub epochs_observed: Vec<u64>,
+    /// Counters and stats attributable to this run (trainer + readers,
+    /// merged in deterministic order).
+    pub counters: obs::Snapshot,
+}
+
+impl ServeReport {
+    /// Total estimates answered across all readers.
+    pub fn answered(&self) -> u64 {
+        self.readers.iter().map(|r| r.answered).sum()
+    }
+
+    /// Total batches served across all readers.
+    pub fn batches(&self) -> u64 {
+        self.readers.iter().map(|r| r.batches).sum()
+    }
+
+    /// Total snapshots audited across all readers.
+    pub fn audited(&self) -> u64 {
+        self.readers.iter().map(|r| r.audited).sum()
+    }
+}
+
+/// Trains `hist` on `train` while concurrently serving estimate batches
+/// over `serve` from epoch-published frozen snapshots.
+///
+/// The trainer refines with the same single-probe feedback discipline as
+/// [`crate::evaluate_self_tuning`] and republishes every
+/// [`ServeConfig::republish_every`] queries plus once at the end; readers
+/// run until the trainer finishes, then drain one final batch from the
+/// last snapshot.
+pub fn serve_concurrent(
+    hist: &mut StHoles,
+    train: &Workload,
+    serve: &Workload,
+    counter: &(dyn RangeCounter + Sync),
+    cfg: &ServeConfig,
+) -> ServeReport {
+    assert!(cfg.readers >= 1, "serve_concurrent needs at least one reader");
+    assert!(cfg.batch >= 1, "serve_concurrent needs a non-empty batch");
+    assert!(cfg.republish_every >= 1);
+    assert!(!serve.is_empty(), "nothing to serve");
+
+    let _span = obs::span("eval.serve_concurrent");
+    let rects: Vec<Rect> = serve.queries().iter().map(|q| q.rect().clone()).collect();
+
+    let cell = SnapshotCell::new(hist.freeze());
+    let done = AtomicBool::new(false);
+    let readers_started = AtomicU64::new(0);
+
+    let (trainer_outcome, reader_stats) = std::thread::scope(|s| {
+        let trainer = s.spawn(|| {
+            let obs_before = obs::snapshot();
+            // Hold the epoch-1 snapshot until at least one reader has
+            // pinned it, so every run provably serves across an epoch
+            // boundary. Deadlock-free: the first reader of the first
+            // scope_map chunk loads unconditionally before its loop.
+            while readers_started.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+            let mut publishes = 0u64;
+            let mut result = ResultSetCounter::empty(1);
+            for (i, q) in train.queries().iter().enumerate() {
+                if result.refill_from_counter(counter, q.rect()) {
+                    let truth = result.total() as f64;
+                    hist.refine_with_truth(q.rect(), &result, truth);
+                } else {
+                    hist.refine(q.rect(), counter);
+                }
+                if (i + 1) % cfg.republish_every == 0 {
+                    cell.publish(hist.freeze());
+                    publishes += 1;
+                }
+            }
+            // Always publish the fully trained histogram before signaling
+            // completion: the readers' drain batch serves from it.
+            let final_epoch = cell.publish(hist.freeze());
+            publishes += 1;
+            done.store(true, Ordering::Release);
+            (publishes, final_epoch, obs::snapshot().delta(&obs_before))
+        });
+
+        let ids: Vec<usize> = (0..cfg.readers).collect();
+        let stats = sth_platform::par::scope_map(&ids, |&ri| {
+            let obs_before = obs::snapshot();
+            let audit = obs::audit_enabled();
+            let mut stats = ReaderStats::default();
+            let mut epochs = BTreeSet::new();
+            let mut out = Vec::with_capacity(cfg.batch);
+            // Stagger starting offsets so readers exercise different query
+            // mixes against the same snapshots.
+            let mut cursor = (ri * cfg.batch) % rects.len();
+            readers_started.fetch_add(1, Ordering::AcqRel);
+            loop {
+                // Read the flag *before* loading: if the trainer finished
+                // first, this load already sees the final snapshot and the
+                // batch below drains it.
+                let finished = done.load(Ordering::Acquire);
+                let snap = cell.load();
+                epochs.insert(snap.epoch());
+                if audit {
+                    obs::incr(obs::Counter::AuditChecks);
+                    stats.audited += 1;
+                    if let Err(e) = snap.check_invariants() {
+                        panic!("STH_AUDIT: torn snapshot at epoch {}: {e}", snap.epoch());
+                    }
+                }
+                let end = (cursor + cfg.batch).min(rects.len());
+                let batch = &rects[cursor..end];
+                cursor = end % rects.len();
+                out.clear();
+                snap.estimate_batch(batch, &mut out);
+                for (est, q) in out.iter().zip(batch) {
+                    assert!(
+                        est.is_finite() && *est >= 0.0,
+                        "bad estimate {est} for {q} at epoch {}",
+                        snap.epoch()
+                    );
+                }
+                stats.answered += out.len() as u64;
+                stats.batches += 1;
+                if finished {
+                    break;
+                }
+            }
+            stats.epochs = epochs.into_iter().collect();
+            (stats, obs::snapshot().delta(&obs_before))
+        });
+        (trainer.join().expect("trainer thread panicked"), stats)
+    });
+
+    let (publishes, final_epoch, trainer_counters) = trainer_outcome;
+    let mut counters = trainer_counters;
+    let mut epochs_observed = BTreeSet::new();
+    let mut readers = Vec::with_capacity(reader_stats.len());
+    for (stats, delta) in reader_stats {
+        counters.merge(&delta);
+        epochs_observed.extend(stats.epochs.iter().copied());
+        readers.push(stats);
+    }
+    let report = ServeReport {
+        publishes,
+        final_epoch,
+        readers,
+        epochs_observed: epochs_observed.into_iter().collect(),
+        counters,
+    };
+    if obs::trace_enabled() {
+        obs::event(
+            "serve",
+            &[
+                ("readers", obs::FieldValue::Int(report.readers.len() as u64)),
+                ("publishes", obs::FieldValue::Int(report.publishes)),
+                ("final_epoch", obs::FieldValue::Int(report.final_epoch)),
+                ("answered", obs::FieldValue::Int(report.answered())),
+                ("epochs_observed", obs::FieldValue::Int(report.epochs_observed.len() as u64)),
+                ("obs", obs::FieldValue::Raw(&report.counters.to_json())),
+            ],
+        );
+    }
+    report
+}
+
+/// A serving snapshot of `hist` for single-threaded use: freeze once,
+/// answer from packed arrays. Exists so callers that don't need the full
+/// concurrent loop still route reads through the frozen path.
+pub fn freeze_for_serving(hist: &StHoles) -> FrozenHistogram {
+    hist.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sth_data::cross::CrossSpec;
+    use sth_index::KdCountTree;
+    use sth_query::{CardinalityEstimator, WorkloadSpec};
+
+    fn fixture() -> (StHoles, Workload, Workload, KdCountTree) {
+        let data = CrossSpec::cross2d().scaled(0.05).generate();
+        let index = KdCountTree::build(&data);
+        let wl = WorkloadSpec::paper(0.01, 97).generate(data.domain(), None);
+        let (train, serve) = wl.split_train(wl.len() / 2);
+        let hist = sth_core::build_uninitialized(&data, 64);
+        (hist, train, serve, index)
+    }
+
+    #[test]
+    fn serve_loop_observes_multiple_epochs() {
+        let (mut hist, train, serve, index) = fixture();
+        let cfg = ServeConfig { readers: 4, batch: 16, republish_every: 10 };
+        let report = serve_concurrent(&mut hist, &train, &serve, &index, &cfg);
+        assert!(report.publishes >= 2, "expected republishes, got {}", report.publishes);
+        assert_eq!(report.final_epoch, 1 + report.publishes);
+        assert!(
+            report.epochs_observed.len() >= 2,
+            "readers saw epochs {:?}",
+            report.epochs_observed
+        );
+        // The drain batch guarantees every reader served the final epoch.
+        for r in &report.readers {
+            assert_eq!(r.epochs.last(), Some(&report.final_epoch));
+            assert!(r.answered >= 1);
+        }
+        assert!(report.answered() >= cfg.batch as u64);
+    }
+
+    #[test]
+    fn audited_serve_checks_every_loaded_snapshot() {
+        obs::force_audit(true);
+        obs::force_metrics(true);
+        let (mut hist, train, serve, index) = fixture();
+        let cfg = ServeConfig { readers: 2, batch: 8, republish_every: 25 };
+        let report = serve_concurrent(&mut hist, &train, &serve, &index, &cfg);
+        assert_eq!(report.audited(), report.batches());
+        // Publish/load traffic shows up in the merged obs delta: the
+        // trainer's publishes plus the initial freeze-before-scope load
+        // traffic from the readers.
+        assert_eq!(report.counters.get(obs::Counter::SnapshotPublishes), report.publishes);
+        assert_eq!(report.counters.get(obs::Counter::SnapshotLoads), report.batches());
+        obs::force_audit(false);
+        obs::force_metrics(false);
+    }
+
+    #[test]
+    fn served_estimates_match_final_snapshot_re_estimation() {
+        let (mut hist, train, serve, index) = fixture();
+        let cfg = ServeConfig::default();
+        serve_concurrent(&mut hist, &train, &serve, &index, &cfg);
+        // After the loop the live histogram equals the last published
+        // snapshot: freezing again must be bit-identical per query.
+        let frozen = hist.freeze();
+        for q in serve.queries() {
+            assert_eq!(
+                frozen.estimate(q.rect()).to_bits(),
+                CardinalityEstimator::estimate(&hist, q.rect()).to_bits()
+            );
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! # sth-platform — the hermetic substrate under every `sth` crate
 //!
 //! The workspace builds with the network disabled: no crates.io
-//! dependencies anywhere. This crate supplies the four pieces of
+//! dependencies anywhere. This crate supplies the pieces of
 //! infrastructure the rest of the system previously pulled from external
 //! crates, rebuilt on `std` alone:
 //!
@@ -21,6 +21,9 @@
 //! * [`obs`] — thread-local counters, value-distribution stats, RAII span
 //!   timers, and a JSON-lines event log, gated at runtime by
 //!   `STH_METRICS`/`STH_TRACE`. Replaces `tracing` + `metrics`.
+//! * [`snap`] — an epoch-stamped atomic-swap publication cell for frozen
+//!   read-path snapshots: one writer republishes, any number of readers
+//!   `load` a cheap guard. Replaces `arc-swap`.
 //!
 //! ## Determinism contract
 //!
@@ -38,3 +41,4 @@ pub mod check;
 pub mod obs;
 pub mod par;
 pub mod rng;
+pub mod snap;

@@ -77,11 +77,15 @@ pub enum Counter {
     ClusterTrials,
     /// `STH_AUDIT` invariant checks executed.
     AuditChecks,
+    /// Frozen snapshots published into a [`crate::snap::SnapshotCell`].
+    SnapshotPublishes,
+    /// Snapshot guards handed out by [`crate::snap::SnapshotCell::load`].
+    SnapshotLoads,
 }
 
 impl Counter {
     /// Every counter, in JSON/report order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 18] = [
         Counter::Queries,
         Counter::IndexProbes,
         Counter::ResultRows,
@@ -98,6 +102,8 @@ impl Counter {
         Counter::ClusterRounds,
         Counter::ClusterTrials,
         Counter::AuditChecks,
+        Counter::SnapshotPublishes,
+        Counter::SnapshotLoads,
     ];
 
     /// Stable snake_case name used in event-log JSON.
@@ -119,6 +125,8 @@ impl Counter {
             Counter::ClusterRounds => "cluster_rounds",
             Counter::ClusterTrials => "cluster_trials",
             Counter::AuditChecks => "audit_checks",
+            Counter::SnapshotPublishes => "snapshot_publishes",
+            Counter::SnapshotLoads => "snapshot_loads",
         }
     }
 }

@@ -13,5 +13,5 @@ mod traits;
 mod workload;
 
 pub use feedback::{execute_workload, QueryFeedback};
-pub use traits::{CardinalityEstimator, SelfTuning};
+pub use traits::{CardinalityEstimator, Estimator, SelfTuning};
 pub use workload::{CenterDistribution, RangeQuery, Workload, WorkloadSpec};

@@ -15,6 +15,34 @@ pub trait CardinalityEstimator {
     fn name(&self) -> &str;
 }
 
+/// The full read-path interface: a [`CardinalityEstimator`] that also
+/// exposes its structure and answers query batches.
+///
+/// This is the trait the serving layer programs against. Every synopsis in
+/// the workspace implements it — the live `StHoles` tree, its immutable
+/// `FrozenHistogram` snapshots, the IPF-consistent wrapper, and the static
+/// baselines — so harness code (metrics, serve loops, examples) never needs
+/// a concrete type.
+pub trait Estimator: CardinalityEstimator {
+    /// Number of dimensions of the estimated data space.
+    fn ndim(&self) -> usize;
+
+    /// Number of buckets (or cells) backing the synopsis. Structural
+    /// diagnostics only; `1` for single-bucket estimators.
+    fn bucket_count(&self) -> usize;
+
+    /// Estimates every query in `queries`, appending one value per query to
+    /// `out`. The default maps [`CardinalityEstimator::estimate`];
+    /// implementations with per-query setup cost (traversal scratch, …)
+    /// override this to amortize it across the batch.
+    fn estimate_batch(&self, queries: &[Rect], out: &mut Vec<f64>) {
+        out.reserve(queries.len());
+        for q in queries {
+            out.push(self.estimate(q));
+        }
+    }
+}
+
 /// A self-tuning estimator: refines itself from the feedback of an executed
 /// query.
 ///
@@ -22,7 +50,7 @@ pub trait CardinalityEstimator {
 /// rectangle* — in a live system it wraps the query's result stream (see
 /// `sth_index::ResultSetCounter`); in simulations a dataset-wide index gives
 /// identical numbers faster.
-pub trait SelfTuning: CardinalityEstimator {
+pub trait SelfTuning: Estimator {
     /// Observes one executed query and refines the synopsis.
     fn refine(&mut self, query: &Rect, feedback: &dyn RangeCounter);
 
@@ -71,10 +99,30 @@ mod tests {
         }
     }
 
+    impl Estimator for Fixed {
+        fn ndim(&self) -> usize {
+            2
+        }
+        fn bucket_count(&self) -> usize {
+            1
+        }
+    }
+
     #[test]
     fn trait_objects_work() {
         let est: Box<dyn CardinalityEstimator> = Box::new(Fixed(42.0));
         assert_eq!(est.estimate(&Rect::cube(2, 0.0, 1.0)), 42.0);
         assert_eq!(est.name(), "fixed");
+    }
+
+    #[test]
+    fn default_batch_maps_estimate() {
+        let est: Box<dyn Estimator> = Box::new(Fixed(7.0));
+        assert_eq!(est.ndim(), 2);
+        assert_eq!(est.bucket_count(), 1);
+        let queries = vec![Rect::cube(2, 0.0, 1.0), Rect::cube(2, 1.0, 2.0)];
+        let mut out = vec![0.0]; // batches append, they do not clear
+        est.estimate_batch(&queries, &mut out);
+        assert_eq!(out, vec![0.0, 7.0, 7.0]);
     }
 }

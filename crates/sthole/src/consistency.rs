@@ -23,7 +23,7 @@ use std::collections::VecDeque;
 use sth_geometry::Rect;
 use sth_index::RangeCounter;
 use sth_platform::obs;
-use sth_query::{CardinalityEstimator, SelfTuning};
+use sth_query::{CardinalityEstimator, Estimator, SelfTuning};
 
 use crate::{BucketId, StHoles};
 
@@ -260,6 +260,16 @@ impl CardinalityEstimator for ConsistentStHoles {
 
     fn name(&self) -> &str {
         "stholes+ipf"
+    }
+}
+
+impl Estimator for ConsistentStHoles {
+    fn ndim(&self) -> usize {
+        self.hist.ndim()
+    }
+
+    fn bucket_count(&self) -> usize {
+        self.hist.bucket_count()
     }
 }
 

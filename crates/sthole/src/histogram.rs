@@ -2,7 +2,7 @@
 
 use sth_geometry::Rect;
 use sth_index::RangeCounter;
-use sth_query::{CardinalityEstimator, SelfTuning};
+use sth_query::{CardinalityEstimator, Estimator, SelfTuning};
 
 use crate::{Bucket, BucketArena, BucketId};
 
@@ -359,6 +359,16 @@ impl CardinalityEstimator for StHoles {
 
     fn name(&self) -> &str {
         "stholes"
+    }
+}
+
+impl Estimator for StHoles {
+    fn ndim(&self) -> usize {
+        self.domain.ndim()
+    }
+
+    fn bucket_count(&self) -> usize {
+        self.nonroot_count
     }
 }
 

@@ -27,6 +27,7 @@
 mod arena;
 mod consistency;
 mod drill;
+mod frozen;
 mod histogram;
 mod merge;
 mod persist;
@@ -35,6 +36,7 @@ mod stats;
 
 pub use arena::{Bucket, BucketArena, BucketId};
 pub use consistency::{ConsistencyConfig, ConsistentStHoles};
+pub use frozen::FrozenHistogram;
 pub use histogram::{MergePolicy, StHoles, SthConfig};
 pub use merge::{MergeOp, MergePenalty, ParentMerges};
 pub use persist::DecodeError;

@@ -112,6 +112,61 @@ check! {
     }
 
     #[test]
+    fn frozen_estimate_is_bit_identical_to_live(
+        points in collection::vec(point_strategy(), 20..150),
+        queries in collection::vec(query_strategy(), 1..30),
+        probes in collection::vec(query_strategy(), 1..25),
+        budget in 2usize..24,
+    ) {
+        // The read-path contract: freezing is a pure representation change.
+        // Every probe — including ones partially or fully outside drilled
+        // regions — must produce the exact same f64, bit for bit.
+        let ds = dataset(&points);
+        let counter = ScanCounter::new(&ds);
+        let domain = Rect::cube(2, 0.0, 100.0);
+        let mut h = StHoles::with_total(domain.clone(), budget, ds.len() as f64);
+        for q in &queries {
+            h.refine(q, &counter);
+        }
+        let frozen = h.freeze();
+        prop_assert!(frozen.check_invariants().is_ok(),
+            "{}", frozen.check_invariants().unwrap_err());
+        for p in probes.iter().chain(std::iter::once(&domain)) {
+            let live = h.estimate(p);
+            let snap = frozen.estimate(p);
+            prop_assert!(
+                live.to_bits() == snap.to_bits(),
+                "frozen {snap} != live {live} for {p}\n{}",
+                h.dump()
+            );
+        }
+    }
+
+    #[test]
+    fn frozen_snapshot_is_immutable_under_further_refinement(
+        points in collection::vec(point_strategy(), 20..100),
+        queries in collection::vec(query_strategy(), 2..20),
+        probe in query_strategy(),
+    ) {
+        // A snapshot taken mid-training keeps answering from its frozen
+        // state no matter what happens to the live histogram afterwards.
+        let ds = dataset(&points);
+        let counter = ScanCounter::new(&ds);
+        let mut h = StHoles::with_total(Rect::cube(2, 0.0, 100.0), 8, ds.len() as f64);
+        let split = queries.len() / 2;
+        for q in &queries[..split] {
+            h.refine(q, &counter);
+        }
+        let frozen = h.freeze();
+        let before = frozen.estimate(&probe);
+        for q in &queries[split..] {
+            h.refine(q, &counter);
+        }
+        prop_assert!(frozen.estimate(&probe).to_bits() == before.to_bits());
+        prop_assert!(frozen.check_invariants().is_ok());
+    }
+
+    #[test]
     fn estimation_is_monotone_in_query_box(
         points in collection::vec(point_strategy(), 20..100),
         queries in collection::vec(query_strategy(), 1..15),

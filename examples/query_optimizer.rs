@@ -70,13 +70,18 @@ fn main() {
         init.refine(q.rect(), &engine);
     }
 
+    // The optimizer only needs the read surface, so serve it from frozen
+    // snapshots: the live histograms stay free to keep refining elsewhere.
+    let uninit_snap = uninit.freeze();
+    let init_snap = init.freeze();
+
     // Now optimize a fresh workload: count wrong plan choices and the total
     // excess cost actually paid because of them.
     let workload = WorkloadSpec { count: 400, ..WorkloadSpec::paper(0.01, 99) }
         .generate(data.domain(), None);
-    let mut stats: Vec<(&str, usize, f64)> = Vec::new();
-    let estimators: Vec<(&str, &dyn CardinalityEstimator)> =
-        vec![("trivial", &trivial), ("uninitialized", &uninit), ("initialized", &init)];
+    let mut stats: Vec<(&str, usize, usize, f64)> = Vec::new();
+    let estimators: Vec<(&str, &dyn Estimator)> =
+        vec![("trivial", &trivial), ("uninitialized", &uninit_snap), ("initialized", &init_snap)];
     for (name, est) in estimators {
         let mut wrong = 0;
         let mut excess_cost = 0.0;
@@ -97,13 +102,16 @@ fn main() {
                 excess_cost += paid - optimal;
             }
         }
-        stats.push((name, wrong, excess_cost));
+        stats.push((name, est.bucket_count(), wrong, excess_cost));
     }
 
     println!("\nplan quality over {} optimizer calls:", workload.len());
-    println!("{:>14}  {:>11}  {:>16}", "estimator", "wrong plans", "excess page I/O");
-    for (name, wrong, excess) in stats {
-        println!("{name:>14}  {wrong:>11}  {excess:>16.0}");
+    println!(
+        "{:>14}  {:>7}  {:>11}  {:>16}",
+        "estimator", "buckets", "wrong plans", "excess page I/O"
+    );
+    for (name, buckets, wrong, excess) in stats {
+        println!("{name:>14}  {buckets:>7}  {wrong:>11}  {excess:>16.0}");
     }
     println!("\n(the initialized histogram should pick wrong plans least often)");
 }

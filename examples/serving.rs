@@ -1,0 +1,110 @@
+//! Acceptance demo for the read/write split: serve cardinality estimates
+//! from epoch-published frozen snapshots while the trainer keeps refining.
+//!
+//! A trainer thread refines the live `StHoles` over a training workload,
+//! republishing a `FrozenHistogram` into a `SnapshotCell` every few
+//! queries. Four (or more) reader threads concurrently answer estimate
+//! batches from whatever snapshot is current. The example asserts the
+//! properties the design promises:
+//!
+//! * readers collectively serve from at least two distinct epochs — the
+//!   histogram really was republished mid-run under them;
+//! * every reader drains a final batch from the last published epoch;
+//! * every loaded snapshot passes `FrozenHistogram::check_invariants`
+//!   (audit mode is forced on, so a torn publish would panic);
+//! * re-freezing the trained histogram afterwards answers bit-identically
+//!   to the live estimation path.
+//!
+//! ```text
+//! STH_AUDIT=1 cargo run --release --example serving
+//! ```
+
+use sth::eval::{serve_concurrent, ServeConfig};
+use sth::platform::{obs, par};
+use sth::prelude::*;
+
+fn main() {
+    // Counters feed the report and audit mode re-checks every loaded
+    // snapshot, independent of the environment.
+    obs::force_metrics(true);
+    obs::force_audit(true);
+
+    // The serve loop needs its readers genuinely concurrent: raise the
+    // scope_map worker count if this machine (or STH_THREADS) caps it
+    // below the reader count.
+    let readers = 4;
+    if par::worker_count() < readers {
+        std::env::set_var("STH_THREADS", readers.to_string());
+    }
+
+    // Correlated data, a kd-tree as the execution engine, and a histogram
+    // that starts untrained — everything it learns happens mid-serve.
+    let data = sth::data::cross::CrossSpec::cross2d().scaled(0.05).generate();
+    let engine = KdCountTree::build(&data);
+    let mut hist = build_uninitialized(&data, 100);
+    println!(
+        "dataset: {} tuples, {} attrs; histogram budget 100, untrained",
+        data.len(),
+        data.ndim()
+    );
+
+    let wl = WorkloadSpec { count: 900, ..WorkloadSpec::paper(0.01, 41) }
+        .generate(data.domain(), None);
+    let (train, serve) = wl.split_train(600);
+
+    let cfg = ServeConfig { readers, batch: 32, republish_every: 40 };
+    let report = serve_concurrent(&mut hist, &train, &serve, &engine, &cfg);
+
+    println!(
+        "served {} estimates in {} batches across {} readers",
+        report.answered(),
+        report.batches(),
+        report.readers.len()
+    );
+    println!(
+        "trainer republished {} times (final epoch {}), readers saw epochs {:?}",
+        report.publishes, report.final_epoch, report.epochs_observed
+    );
+    println!(
+        "audited {} loaded snapshots; obs: {} publishes / {} loads",
+        report.audited(),
+        report.counters.get(obs::Counter::SnapshotPublishes),
+        report.counters.get(obs::Counter::SnapshotLoads)
+    );
+
+    // -- The acceptance assertions -----------------------------------------
+    assert_eq!(report.readers.len(), readers, "expected {readers} concurrent readers");
+    assert!(
+        report.epochs_observed.len() >= 2,
+        "readers never saw a republish: epochs {:?}",
+        report.epochs_observed
+    );
+    assert!(report.publishes >= 2, "trainer republished only {} times", report.publishes);
+    for (i, r) in report.readers.iter().enumerate() {
+        assert!(r.answered > 0, "reader {i} served nothing");
+        assert_eq!(
+            r.epochs.last(),
+            Some(&report.final_epoch),
+            "reader {i} never drained the final snapshot"
+        );
+    }
+    // Audit mode was forced on: every loaded snapshot was invariant-checked
+    // before a single estimate was served from it.
+    assert_eq!(report.audited(), report.batches(), "unaudited snapshot load");
+    assert_eq!(report.counters.get(obs::Counter::SnapshotPublishes), report.publishes);
+    assert_eq!(report.counters.get(obs::Counter::SnapshotLoads), report.batches());
+
+    // The serve loop's last snapshot is the fully trained histogram:
+    // freezing again must reproduce the live estimates bit for bit.
+    let frozen = hist.freeze();
+    for q in serve.queries().iter().take(64) {
+        let live = CardinalityEstimator::estimate(&hist, q.rect());
+        let snap = frozen.estimate(q.rect());
+        assert_eq!(live.to_bits(), snap.to_bits(), "frozen/live divergence on {}", q.rect());
+    }
+    println!("frozen estimates bit-identical to live on {} probes", 64);
+
+    obs::force_audit(false);
+    obs::force_metrics(false);
+    println!("serving example OK");
+}

@@ -22,6 +22,14 @@ STH_TRACE="$trace_log" STH_AUDIT=1 \
     cargo run -q --release --offline --example observability > /dev/null
 echo "verify: observability example OK ($(wc -l < "$trace_log") trace events)"
 
+# Serving acceptance: concurrent readers answer estimate batches from
+# epoch-published frozen snapshots while the trainer refines. The example
+# asserts ≥ 2 epochs served, per-reader final-epoch drains, an invariant
+# check on every loaded snapshot (STH_AUDIT=1), and frozen/live
+# bit-identity.
+STH_AUDIT=1 cargo run -q --release --offline --example serving > /dev/null
+echo "verify: serving example OK"
+
 # Opt-in perf stage (not tier-1): smoke-run the core_ops benches and fail
 # on large median regressions against the committed baseline.
 if [[ "${STH_VERIFY_BENCH:-0}" == "1" ]]; then

@@ -59,11 +59,12 @@ pub mod prelude {
     };
     pub use sth_data::Dataset;
     pub use sth_geometry::Rect;
-    pub use sth_histogram::{ConsistencyConfig, ConsistentStHoles, StHoles};
+    pub use sth_histogram::{ConsistencyConfig, ConsistentStHoles, FrozenHistogram, StHoles};
     pub use sth_index::{KdCountTree, RangeCounter, ResultSetCounter};
     pub use sth_mineclus::{MineClus, MineClusConfig, SubspaceClustering};
+    pub use sth_platform::snap::{SnapshotCell, SnapshotGuard};
     pub use sth_query::{
-        CardinalityEstimator, RangeQuery, SelfTuning, Workload, WorkloadSpec,
+        CardinalityEstimator, Estimator, RangeQuery, SelfTuning, Workload, WorkloadSpec,
     };
 
     /// Ergonomic conversion used in the crate-level example.
