@@ -1,7 +1,9 @@
 //! Microbenchmarks of the histogram's core operations: estimation (live
 //! and frozen read path), hole drilling, merge search, the concurrent
-//! serve loop, and exact range counting (k-d tree vs scan).
+//! serve loop, durability (delta append, snapshot flush, cold recovery),
+//! and exact range counting (k-d tree vs scan).
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use sth_platform::bench::{black_box, Bench};
@@ -9,8 +11,10 @@ use sth_bench::cross_fixture;
 use sth_core::build_uninitialized;
 use sth_eval::{serve_concurrent, ServeConfig};
 use sth_geometry::Rect;
-use sth_index::{RangeCounter, ScanCounter};
+use sth_index::{RangeCounter, ResultSetCounter, ScanCounter};
 use sth_query::{CardinalityEstimator, Estimator, SelfTuning, WorkloadSpec};
+use sth_store::vfs::{MemVfs, Vfs};
+use sth_store::{DurableTrainer, Store, StoreConfig};
 
 /// Builds a trained histogram with ~`buckets` buckets for estimation
 /// benches.
@@ -94,6 +98,83 @@ fn bench_serve_concurrent(c: &mut Bench) {
                 let mut h = build_uninitialized(&prep.data, 50);
                 let report = serve_concurrent(&mut h, &train, &serve, &*prep.index, &cfg);
                 black_box(report.answered())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_store_ops(c: &mut Bench) {
+    // Durability costs on an in-memory VFS (no disk noise): the per-query
+    // write-ahead append, a full snapshot generation, and the recovery
+    // value proposition — cold `Store::open` (newest snapshot + tail
+    // replay) vs retraining the same histogram from scratch.
+    let prep = cross_fixture();
+    let wl = WorkloadSpec { count: 200, ..WorkloadSpec::paper(0.01, 13) }
+        .generate(prep.data.domain(), None);
+    let mut g = c.benchmark_group("store_ops");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+
+    // The log append alone: frame encode + CRC + VFS append. Flush
+    // thresholds are parked at infinity so no snapshot sneaks in.
+    g.bench_function("delta_append", |b| {
+        let hist = build_uninitialized(&prep.data, 50);
+        let cfg = StoreConfig {
+            flush_every_deltas: usize::MAX,
+            flush_every_bytes: u64::MAX,
+            retain_generations: 2,
+        };
+        let vfs: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+        let mut store = Store::create("/bench", vfs, cfg, &hist).expect("create");
+        let q = wl.queries()[0].rect().clone();
+        let mut result = ResultSetCounter::empty(prep.data.ndim());
+        result.refill_from_counter(&*prep.index, &q);
+        let truth = result.total() as f64;
+        b.iter(|| black_box(store.append_delta(&q, &result, truth).expect("append")));
+    });
+
+    // One snapshot generation end to end: codec encode, atomic publish,
+    // manifest rewrite, retention GC of the generation that fell off.
+    g.bench_function("snapshot_flush", |b| {
+        let (h, _) = trained_histogram(50);
+        let cfg = StoreConfig { retain_generations: 2, ..StoreConfig::default() };
+        let vfs: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+        let mut store = Store::create("/bench", vfs, cfg, &h).expect("create");
+        b.iter(|| black_box(store.flush_snapshot(&h).expect("flush")));
+    });
+
+    // 128 absorbed queries with the default flush-every-64 policy: a cold
+    // open loads the newest snapshot and replays at most the active tail,
+    // while losing the store means paying all 128 refines again.
+    {
+        let cfg = StoreConfig::default();
+        let (train, _) = wl.split_train(128);
+        let vfs = Arc::new(MemVfs::new());
+        let hist = build_uninitialized(&prep.data, 50);
+        let mut t =
+            DurableTrainer::create("/bench", vfs.clone() as Arc<dyn Vfs>, cfg.clone(), hist)
+                .expect("create");
+        for q in train.queries() {
+            t.absorb(q.rect(), &*prep.index).expect("absorb");
+        }
+        let files = vfs.files();
+        g.bench_function("cold_open_128", |b| {
+            b.iter(|| {
+                let mem: Arc<dyn Vfs> = Arc::new(MemVfs::from_files(files.clone()));
+                let (t, report) =
+                    DurableTrainer::open("/bench", mem, cfg.clone()).expect("open");
+                black_box((t.seq(), report.replayed))
+            });
+        });
+        g.bench_function("full_retrain_128", |b| {
+            b.iter(|| {
+                let mut h = build_uninitialized(&prep.data, 50);
+                for q in train.queries() {
+                    h.refine(q.rect(), &*prep.index);
+                }
+                black_box(h.bucket_count())
             });
         });
     }
@@ -212,6 +293,7 @@ fn main() {
     bench_estimate(&mut c);
     bench_estimate_frozen(&mut c);
     bench_serve_concurrent(&mut c);
+    bench_store_ops(&mut c);
     bench_refine(&mut c);
     bench_refine_steady(&mut c);
     bench_traversal(&mut c);

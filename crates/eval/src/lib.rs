@@ -21,7 +21,10 @@ mod table;
 
 pub use metrics::{evaluate_self_tuning, evaluate_static, normalized_absolute_error};
 pub use runner::{run_simulation, sweep, RunConfig, RunOutcome, RunProvenance, Variant};
-pub use serve::{freeze_for_serving, serve_concurrent, ReaderStats, ServeConfig, ServeReport};
+pub use serve::{
+    freeze_for_serving, serve_concurrent, serve_durable, DurableServeReport, ReaderStats,
+    ServeConfig, ServeReport,
+};
 pub use spec::{DatasetSpec, ExperimentCtx, PreparedDataset};
 pub use table::Table;
 

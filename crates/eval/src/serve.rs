@@ -242,6 +242,183 @@ pub fn freeze_for_serving(hist: &StHoles) -> FrozenHistogram {
     hist.freeze()
 }
 
+/// Outcome of one [`serve_durable`] run.
+#[derive(Clone, Debug)]
+pub struct DurableServeReport {
+    /// Snapshots the trainer republished into the serving cell
+    /// (excluding the initial one).
+    pub publishes: u64,
+    /// Epoch of the last published serving snapshot.
+    pub final_epoch: u64,
+    /// Per-reader tallies, in reader order.
+    pub readers: Vec<ReaderStats>,
+    /// Distinct epochs served from, across all readers, ascending.
+    pub epochs_observed: Vec<u64>,
+    /// Counters and stats attributable to this run.
+    pub counters: obs::Snapshot,
+    /// Durable delta sequence reached by the trainer.
+    pub final_seq: u64,
+    /// Store generations flushed during the run.
+    pub flushes: u64,
+    /// Canonical golden hash of the trained histogram, for comparing
+    /// against a recovered run.
+    pub golden: u64,
+}
+
+impl DurableServeReport {
+    /// Total estimates answered across all readers.
+    pub fn answered(&self) -> u64 {
+        self.readers.iter().map(|r| r.answered).sum()
+    }
+}
+
+/// [`serve_concurrent`] with a durable write path: the trainer owns a
+/// [`sth_store::DurableTrainer`], so every absorbed query is appended to
+/// the store's delta log *before* refinement and snapshot generations
+/// are flushed per the store's policy — while reader workers keep
+/// answering estimate batches from epoch-published frozen snapshots.
+///
+/// If the store dies mid-run (real I/O failure or an injected crash),
+/// the readers drain cleanly and the error is returned; the store
+/// directory then holds a valid prefix of the run, and reopening the
+/// trainer via [`sth_store::DurableTrainer::open`] resumes from exactly
+/// the durable tail — the serve test exercises this kill/reopen path.
+pub fn serve_durable(
+    trainer: &mut sth_store::DurableTrainer,
+    train: &Workload,
+    serve: &Workload,
+    counter: &(dyn RangeCounter + Sync),
+    cfg: &ServeConfig,
+) -> Result<DurableServeReport, sth_store::StoreError> {
+    assert!(cfg.readers >= 1, "serve_durable needs at least one reader");
+    assert!(cfg.batch >= 1, "serve_durable needs a non-empty batch");
+    assert!(cfg.republish_every >= 1);
+    assert!(!serve.is_empty(), "nothing to serve");
+
+    let _span = obs::span("eval.serve_durable");
+    let rects: Vec<Rect> = serve.queries().iter().map(|q| q.rect().clone()).collect();
+
+    let cell = SnapshotCell::new(trainer.freeze());
+    let done = AtomicBool::new(false);
+    let readers_started = AtomicU64::new(0);
+
+    let (trainer_outcome, reader_stats) = std::thread::scope(|s| {
+        let trainer_handle = s.spawn(|| {
+            let obs_before = obs::snapshot();
+            while readers_started.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+            let mut publishes = 0u64;
+            let mut flushes = 0u64;
+            let mut failure = None;
+            for (i, q) in train.queries().iter().enumerate() {
+                match trainer.absorb(q.rect(), counter) {
+                    Ok(report) => {
+                        if report.flushed_gen.is_some() {
+                            flushes += 1;
+                        }
+                    }
+                    Err(e) => {
+                        // The store is dead; the in-memory histogram
+                        // still equals the last durable state, so the
+                        // final publish below serves a valid snapshot.
+                        failure = Some(e);
+                        break;
+                    }
+                }
+                if (i + 1) % cfg.republish_every == 0 {
+                    cell.publish(trainer.freeze());
+                    publishes += 1;
+                }
+            }
+            let final_epoch = cell.publish(trainer.freeze());
+            publishes += 1;
+            done.store(true, Ordering::Release);
+            (publishes, flushes, final_epoch, failure, obs::snapshot().delta(&obs_before))
+        });
+
+        let ids: Vec<usize> = (0..cfg.readers).collect();
+        let stats = sth_platform::par::scope_map(&ids, |&ri| {
+            let obs_before = obs::snapshot();
+            let audit = obs::audit_enabled();
+            let mut stats = ReaderStats::default();
+            let mut epochs = BTreeSet::new();
+            let mut out = Vec::with_capacity(cfg.batch);
+            let mut cursor = (ri * cfg.batch) % rects.len();
+            readers_started.fetch_add(1, Ordering::AcqRel);
+            loop {
+                let finished = done.load(Ordering::Acquire);
+                let snap = cell.load();
+                epochs.insert(snap.epoch());
+                if audit {
+                    obs::incr(obs::Counter::AuditChecks);
+                    stats.audited += 1;
+                    if let Err(e) = snap.check_invariants() {
+                        panic!("STH_AUDIT: torn snapshot at epoch {}: {e}", snap.epoch());
+                    }
+                }
+                let end = (cursor + cfg.batch).min(rects.len());
+                let batch = &rects[cursor..end];
+                cursor = end % rects.len();
+                out.clear();
+                snap.estimate_batch(batch, &mut out);
+                for (est, q) in out.iter().zip(batch) {
+                    assert!(
+                        est.is_finite() && *est >= 0.0,
+                        "bad estimate {est} for {q} at epoch {}",
+                        snap.epoch()
+                    );
+                }
+                stats.answered += out.len() as u64;
+                stats.batches += 1;
+                if finished {
+                    break;
+                }
+            }
+            stats.epochs = epochs.into_iter().collect();
+            (stats, obs::snapshot().delta(&obs_before))
+        });
+        (trainer_handle.join().expect("trainer thread panicked"), stats)
+    });
+
+    let (publishes, flushes, final_epoch, failure, trainer_counters) = trainer_outcome;
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    let mut counters = trainer_counters;
+    let mut epochs_observed = BTreeSet::new();
+    let mut readers = Vec::with_capacity(reader_stats.len());
+    for (stats, delta) in reader_stats {
+        counters.merge(&delta);
+        epochs_observed.extend(stats.epochs.iter().copied());
+        readers.push(stats);
+    }
+    let report = DurableServeReport {
+        publishes,
+        final_epoch,
+        readers,
+        epochs_observed: epochs_observed.into_iter().collect(),
+        counters,
+        final_seq: trainer.seq(),
+        flushes,
+        golden: trainer.golden_hash(),
+    };
+    if obs::trace_enabled() {
+        obs::event(
+            "serve_durable",
+            &[
+                ("readers", obs::FieldValue::Int(report.readers.len() as u64)),
+                ("publishes", obs::FieldValue::Int(report.publishes)),
+                ("flushes", obs::FieldValue::Int(report.flushes)),
+                ("final_seq", obs::FieldValue::Int(report.final_seq)),
+                ("answered", obs::FieldValue::Int(report.answered())),
+                ("obs", obs::FieldValue::Raw(&report.counters.to_json())),
+            ],
+        );
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +470,99 @@ mod tests {
         assert_eq!(report.counters.get(obs::Counter::SnapshotLoads), report.batches());
         obs::force_audit(false);
         obs::force_metrics(false);
+    }
+
+    #[test]
+    fn durable_serve_trains_identically_to_the_volatile_loop() {
+        use std::sync::Arc;
+        use sth_store::vfs::MemVfs;
+        use sth_store::{DurableTrainer, StoreConfig};
+
+        let (hist, train, serve, index) = fixture();
+        let golden_volatile = {
+            let (mut volatile, ..) = fixture();
+            let mut result = ResultSetCounter::empty(2);
+            for q in train.queries() {
+                assert!(result.refill_from_counter(&index, q.rect()));
+                let truth = result.total() as f64;
+                volatile.refine_with_truth(q.rect(), &result, truth);
+            }
+            volatile.golden_hash()
+        };
+
+        let mem = Arc::new(MemVfs::new());
+        let store_cfg =
+            StoreConfig { flush_every_deltas: 8, flush_every_bytes: u64::MAX, retain_generations: 2 };
+        let mut trainer =
+            DurableTrainer::create("/durable-serve", mem.clone(), store_cfg.clone(), hist)
+                .expect("create");
+        let cfg = ServeConfig { readers: 3, batch: 16, republish_every: 10 };
+        let report =
+            serve_durable(&mut trainer, &train, &serve, &index, &cfg).expect("serve_durable");
+        assert_eq!(report.final_seq, train.len() as u64);
+        assert!(report.flushes >= 1, "expected snapshot flushes, got {}", report.flushes);
+        assert!(report.epochs_observed.len() >= 2);
+        // The durable write path absorbs exactly what the volatile loop
+        // refines on: same feedback, same state, bit for bit.
+        assert_eq!(report.golden, golden_volatile);
+        drop(trainer);
+
+        // And the store round-trips it: a cold reopen is the same state.
+        let (reopened, recovery) =
+            DurableTrainer::open("/durable-serve", mem, store_cfg).expect("open");
+        assert_eq!(recovery.seq, train.len() as u64);
+        assert_eq!(reopened.golden_hash(), golden_volatile);
+    }
+
+    #[test]
+    fn killed_durable_serve_resumes_from_the_tail() {
+        use std::sync::Arc;
+        use sth_store::vfs::{FaultVfs, MemVfs, Vfs};
+        use sth_store::{DurableTrainer, StoreConfig};
+
+        let store_cfg =
+            StoreConfig { flush_every_deltas: 6, flush_every_bytes: u64::MAX, retain_generations: 2 };
+        let cfg = ServeConfig { readers: 2, batch: 8, republish_every: 10 };
+
+        // Reference: an uncrashed durable serve run, also recording the
+        // total write cost so the kill lands mid-run.
+        let (hist, train, serve, index) = fixture();
+        let ref_mem = Arc::new(MemVfs::new());
+        let ref_vfs = Arc::new(FaultVfs::unlimited(ref_mem));
+        let mut reference = DurableTrainer::create(
+            "/durable-serve",
+            ref_vfs.clone() as Arc<dyn Vfs>,
+            store_cfg.clone(),
+            hist,
+        )
+        .expect("create");
+        let ref_report = serve_durable(&mut reference, &train, &serve, &index, &cfg)
+            .expect("reference serve_durable");
+        let total_cost = ref_vfs.consumed();
+
+        // Crash-kill: same run, half the write budget.
+        let (hist, ..) = fixture();
+        let mem = Arc::new(MemVfs::new());
+        let vfs = Arc::new(FaultVfs::new(mem.clone(), total_cost / 2));
+        let mut trainer =
+            DurableTrainer::create("/durable-serve", vfs as Arc<dyn Vfs>, store_cfg.clone(), hist)
+                .expect("create");
+        let died = serve_durable(&mut trainer, &train, &serve, &index, &cfg);
+        assert!(died.is_err(), "half the write budget must kill the trainer");
+        drop(trainer);
+
+        // Reopen on the torn disk and finish the training workload from
+        // the durable tail.
+        let (mut resumed, recovery) =
+            DurableTrainer::open("/durable-serve", mem, store_cfg).expect("open after kill");
+        assert!(recovery.seq < train.len() as u64, "crash should land mid-run");
+        let (_, rest) = train.split_train(recovery.seq as usize);
+        let report =
+            serve_durable(&mut resumed, &rest, &serve, &index, &cfg).expect("resumed serve");
+        assert_eq!(report.final_seq, train.len() as u64);
+        // Crash + recovery + resume lands bit-identically on the
+        // reference run's final state.
+        assert_eq!(report.golden, ref_report.golden);
     }
 
     #[test]

@@ -187,6 +187,15 @@ impl ResultSetCounter {
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
+
+    /// Flat row-major view of the materialized result stream and its
+    /// dimensionality. This is the exact byte-for-byte payload a durable
+    /// query-feedback log must capture: refinement probes arbitrary
+    /// sub-rectangles of the query against these rows, so replaying from
+    /// anything lossier (e.g. just the total count) would diverge.
+    pub fn flat_rows(&self) -> (&[f64], usize) {
+        (&self.rows, self.ndim)
+    }
 }
 
 impl RangeCounter for ResultSetCounter {

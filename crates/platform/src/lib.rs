@@ -24,6 +24,11 @@
 //! * [`snap`] — an epoch-stamped atomic-swap publication cell for frozen
 //!   read-path snapshots: one writer republishes, any number of readers
 //!   `load` a cheap guard. Replaces `arc-swap`.
+//! * [`codec`] — bounds-checked little-endian reader/writer, IEEE CRC-32,
+//!   FNV-1a golden hashing, and checksummed section framing: the shared
+//!   conventions of every on-disk format (histogram persistence, frozen
+//!   snapshots, the durable store's log and manifest). Replaces serde +
+//!   a format crate.
 //!
 //! ## Determinism contract
 //!
@@ -38,6 +43,7 @@
 
 pub mod bench;
 pub mod check;
+pub mod codec;
 pub mod obs;
 pub mod par;
 pub mod rng;

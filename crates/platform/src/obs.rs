@@ -81,11 +81,15 @@ pub enum Counter {
     SnapshotPublishes,
     /// Snapshot guards handed out by [`crate::snap::SnapshotCell::load`].
     SnapshotLoads,
+    /// Delta records durably appended to a store's log.
+    StoreDeltaAppends,
+    /// Snapshot generations flushed by a store.
+    StoreSnapshotFlushes,
 }
 
 impl Counter {
     /// Every counter, in JSON/report order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 20] = [
         Counter::Queries,
         Counter::IndexProbes,
         Counter::ResultRows,
@@ -104,6 +108,8 @@ impl Counter {
         Counter::AuditChecks,
         Counter::SnapshotPublishes,
         Counter::SnapshotLoads,
+        Counter::StoreDeltaAppends,
+        Counter::StoreSnapshotFlushes,
     ];
 
     /// Stable snake_case name used in event-log JSON.
@@ -127,6 +133,8 @@ impl Counter {
             Counter::AuditChecks => "audit_checks",
             Counter::SnapshotPublishes => "snapshot_publishes",
             Counter::SnapshotLoads => "snapshot_loads",
+            Counter::StoreDeltaAppends => "store_delta_appends",
+            Counter::StoreSnapshotFlushes => "store_snapshot_flushes",
         }
     }
 }

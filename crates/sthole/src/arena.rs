@@ -204,6 +204,58 @@ impl BucketArena {
         self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|b| (i, b)))
     }
 
+    /// Total slot count, live and freed alike — the arena's allocation
+    /// footprint, which the verbatim image codec must reproduce exactly.
+    pub(crate) fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Direct slot access, `None` for freed slots.
+    pub(crate) fn slot(&self, i: usize) -> Option<&Bucket> {
+        self.slots.get(i).and_then(Option::as_ref)
+    }
+
+    /// The free list, in pop order from the back: the next `alloc`
+    /// recycles the *last* entry. Part of the process image because slot
+    /// assignment feeds deterministic tie-breaking in the merge search.
+    pub(crate) fn free_list(&self) -> &[BucketId] {
+        &self.free
+    }
+
+    /// Rebuilds an arena from an exact slot layout: `slots[i]` occupies
+    /// slot `i` (`None` = freed), `free` is the free list verbatim. The
+    /// side arrays (bounds, volumes, hulls) are derived from the rects
+    /// with the same arithmetic `alloc` uses; children hulls are
+    /// tightened to the exact union, which is semantically equivalent to
+    /// whatever conservative hulls the original process carried (hulls
+    /// only prune traversal, they never change results).
+    pub(crate) fn from_slots(slots: Vec<Option<Bucket>>, free: Vec<BucketId>) -> Self {
+        let ndim = slots.iter().flatten().next().map_or(0, |b| b.rect.ndim());
+        let span = 2 * ndim;
+        let mut bounds = vec![0.0; slots.len() * span];
+        let mut vols = vec![0.0; slots.len()];
+        let mut hulls = vec![0.0; slots.len() * span];
+        for (i, slot) in slots.iter().enumerate() {
+            if let Some(b) = slot {
+                let dst = &mut bounds[i * span..(i + 1) * span];
+                dst[..ndim].copy_from_slice(b.rect.lo());
+                dst[ndim..].copy_from_slice(b.rect.hi());
+                hulls[i * span..(i + 1) * span].copy_from_slice(dst);
+                vols[i] = b.rect.volume();
+            }
+        }
+        let mut arena = Self { slots, free, ndim, bounds, vols, hulls };
+        let parents: Vec<BucketId> = arena
+            .iter()
+            .filter(|(_, b)| !b.children.is_empty())
+            .map(|(id, _)| id)
+            .collect();
+        for id in parents {
+            arena.tighten_hull(id);
+        }
+        arena
+    }
+
     /// Volume of a bucket's own region: its box minus the child boxes.
     /// Uses the cached box volumes; identical arithmetic (and children
     /// order) to recomputing from the rectangles.

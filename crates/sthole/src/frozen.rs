@@ -64,26 +64,26 @@ struct FrozenScratch {
 /// bit-identity contract.
 #[derive(Clone, Debug)]
 pub struct FrozenHistogram {
-    ndim: usize,
+    pub(crate) ndim: usize,
     /// Packed bucket boxes, BFS order (`[lo_0..lo_{n-1}, hi_0..hi_{n-1}]`).
-    bounds: Vec<f64>,
+    pub(crate) bounds: Vec<f64>,
     /// Packed children hulls, copied verbatim from the arena so the
     /// traversal gate takes exactly the live path's decisions.
-    hulls: Vec<f64>,
+    pub(crate) hulls: Vec<f64>,
     /// Cached box volumes.
-    vols: Vec<f64>,
+    pub(crate) vols: Vec<f64>,
     /// Own-region volumes (box minus children), pre-subtracted at freeze
     /// time with the live path's arithmetic.
-    own_vols: Vec<f64>,
+    pub(crate) own_vols: Vec<f64>,
     /// Own-region tuple counts.
-    freqs: Vec<f64>,
+    pub(crate) freqs: Vec<f64>,
     /// First child (node index) per node; BFS order makes children
     /// contiguous.
-    child_start: Vec<u32>,
+    pub(crate) child_start: Vec<u32>,
     /// One past the last child per node.
-    child_end: Vec<u32>,
+    pub(crate) child_end: Vec<u32>,
     /// Deepest node level; sizes the per-depth query-box stack.
-    max_depth: usize,
+    pub(crate) max_depth: usize,
 }
 
 impl StHoles {
@@ -206,7 +206,7 @@ impl FrozenHistogram {
 
     /// Volume of a packed box. Mirrors `Rect::volume` (ordered product).
     #[inline]
-    fn packed_volume(packed: &[f64]) -> f64 {
+    pub(crate) fn packed_volume(packed: &[f64]) -> f64 {
         let n = packed.len() / 2;
         let mut v = 1.0;
         for d in 0..n {

@@ -29,6 +29,7 @@ mod consistency;
 mod drill;
 mod frozen;
 mod histogram;
+mod image;
 mod merge;
 mod persist;
 mod scratch;

@@ -8,11 +8,17 @@
 //! Layout: magic, version, domain, config, then the bucket tree in
 //! pre-order (id remapping makes the encoding independent of arena slot
 //! history, so logically equal histograms encode identically).
+//!
+//! The little-endian primitives and the checksum live in
+//! [`sth_platform::codec`], shared with the frozen-snapshot codec
+//! ([`crate::FrozenHistogram::to_bytes`]) and the durable store's log and
+//! manifest formats.
 
 use std::collections::HashMap;
 use std::fmt;
 
 use sth_geometry::Rect;
+use sth_platform::codec::{ByteReader, ByteWriter, CodecError};
 
 use crate::{Bucket, BucketArena, BucketId, MergePolicy, StHoles, SthConfig};
 
@@ -30,6 +36,12 @@ pub enum DecodeError {
     Corrupt(&'static str),
 }
 
+impl From<CodecError> for DecodeError {
+    fn from(e: CodecError) -> Self {
+        DecodeError::Corrupt(e.what())
+    }
+}
+
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -42,51 +54,14 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        if self.pos + n > self.buf.len() {
-            return Err(DecodeError::Corrupt("unexpected end of input"));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-
-    fn u8(&mut self) -> Result<u8, DecodeError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn f64(&mut self) -> Result<f64, DecodeError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn finite_f64(&mut self, what: &'static str) -> Result<f64, DecodeError> {
-        let v = self.f64()?;
-        if v.is_finite() {
-            Ok(v)
-        } else {
-            Err(DecodeError::Corrupt(what))
-        }
-    }
-}
-
-fn put_rect(out: &mut Vec<u8>, r: &Rect) {
+pub(crate) fn put_rect(out: &mut ByteWriter, r: &Rect) {
     for d in 0..r.ndim() {
-        out.extend_from_slice(&r.lo()[d].to_le_bytes());
-        out.extend_from_slice(&r.hi()[d].to_le_bytes());
+        out.f64(r.lo()[d]);
+        out.f64(r.hi()[d]);
     }
 }
 
-fn get_rect(r: &mut Reader<'_>, dim: usize) -> Result<Rect, DecodeError> {
+pub(crate) fn get_rect(r: &mut ByteReader<'_>, dim: usize) -> Result<Rect, DecodeError> {
     let mut lo = vec![0.0; dim];
     let mut hi = vec![0.0; dim];
     for d in 0..dim {
@@ -99,25 +74,24 @@ fn get_rect(r: &mut Reader<'_>, dim: usize) -> Result<Rect, DecodeError> {
 impl StHoles {
     /// Encodes the histogram into a self-contained byte buffer.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64 + 64 * self.bucket_count());
-        out.extend_from_slice(MAGIC);
-        out.push(VERSION);
-        let dim = self.domain().ndim() as u32;
-        out.extend_from_slice(&dim.to_le_bytes());
+        let mut out = ByteWriter::with_capacity(64 + 64 * self.bucket_count());
+        out.bytes(MAGIC);
+        out.u8(VERSION);
+        out.u32(self.domain().ndim() as u32);
         put_rect(&mut out, self.domain());
-        out.extend_from_slice(&(self.config.budget as u32).to_le_bytes());
-        out.extend_from_slice(&self.config.min_hole_volume_frac.to_le_bytes());
-        out.push(match self.config.merge_policy {
+        out.u32(self.config.budget as u32);
+        out.f64(self.config.min_hole_volume_frac);
+        out.u8(match self.config.merge_policy {
             MergePolicy::All => 0,
             MergePolicy::ParentChildOnly => 1,
             MergePolicy::SiblingFirst => 2,
         });
         match self.config.sibling_neighbor_cap {
-            None => out.extend_from_slice(&u32::MAX.to_le_bytes()),
-            Some(c) => out.extend_from_slice(&(c as u32).to_le_bytes()),
+            None => out.u32(u32::MAX),
+            Some(c) => out.u32(c as u32),
         }
         // Pre-order bucket stream with remapped ids: parent, rect, freq.
-        out.extend_from_slice(&((self.bucket_count() + 1) as u32).to_le_bytes());
+        out.u32((self.bucket_count() + 1) as u32);
         let mut order: Vec<BucketId> = Vec::with_capacity(self.bucket_count() + 1);
         let mut stack = vec![self.root()];
         while let Some(id) = stack.pop() {
@@ -129,18 +103,27 @@ impl StHoles {
         for &id in &order {
             let b = self.arena().get(id);
             let parent = b.parent.map_or(u32::MAX, |p| remap[&p]);
-            out.extend_from_slice(&parent.to_le_bytes());
+            out.u32(parent);
             put_rect(&mut out, &b.rect);
-            out.extend_from_slice(&b.freq.to_le_bytes());
+            out.f64(b.freq);
         }
-        out
+        out.into_bytes()
+    }
+
+    /// 64-bit FNV-1a hash of [`StHoles::to_bytes`]: the canonical golden
+    /// hash of the histogram's logical state. Two histograms hash equal
+    /// iff their bucket trees, frequencies and configs are identical —
+    /// the identity check behind the durable store's bit-identical
+    /// recovery proof.
+    pub fn golden_hash(&self) -> u64 {
+        sth_platform::codec::fnv1a(&self.to_bytes())
     }
 
     /// Decodes a histogram previously produced by [`StHoles::to_bytes`].
     /// The decoded tree is validated with
     /// [`StHoles::check_invariants`].
     pub fn from_bytes(bytes: &[u8]) -> Result<StHoles, DecodeError> {
-        let mut r = Reader { buf: bytes, pos: 0 };
+        let mut r = ByteReader::new(bytes);
         if r.take(4)? != MAGIC {
             return Err(DecodeError::BadMagic);
         }
@@ -197,12 +180,174 @@ impl StHoles {
             }
             ids.push(id);
         }
-        if r.pos != bytes.len() {
-            return Err(DecodeError::Corrupt("trailing bytes"));
-        }
+        r.expect_exhausted()?;
         let hist = StHoles::assemble(arena, ids[0], config, count - 1, domain);
         hist.check_invariants().map_err(|_| DecodeError::Corrupt("invariant violation"))?;
         Ok(hist)
+    }
+}
+
+const FROZEN_MAGIC: &[u8; 4] = b"STF1";
+const FROZEN_VERSION: u8 = 1;
+
+// Section tags of the frozen columnar format.
+const SEC_BOUNDS: u8 = 1;
+const SEC_HULLS: u8 = 2;
+const SEC_FREQS: u8 = 3;
+const SEC_CHILDREN: u8 = 4;
+
+/// Largest node count [`FrozenHistogram::from_bytes`] will decode; guards
+/// allocation against hostile length fields (a real snapshot is bounded
+/// by the bucket budget, far below this).
+const MAX_FROZEN_NODES: usize = 1 << 24;
+
+impl crate::FrozenHistogram {
+    /// Encodes the snapshot into a self-contained, versioned byte buffer:
+    /// magic + header, then one length-prefixed, CRC-checksummed section
+    /// per column (`bounds`, `hulls`, `freqs`, child ranges).
+    ///
+    /// The encoding is **canonical**: the snapshot arrays are the BFS
+    /// flattening of the logical bucket tree, so two frozen histograms of
+    /// logically equal trees encode identically regardless of the live
+    /// arena's slot history — the same id-remapping guarantee as
+    /// [`StHoles::to_bytes`]. Derived columns (volumes, own volumes,
+    /// depth) are *not* stored; [`FrozenHistogram::from_bytes`] recomputes
+    /// them with the same arithmetic, bit for bit.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use sth_platform::codec::write_section;
+        let count = self.vols.len();
+        let span = 2 * self.ndim;
+        let mut out = ByteWriter::with_capacity(32 + count * (2 * span + 1) * 8);
+        out.bytes(FROZEN_MAGIC);
+        out.u8(FROZEN_VERSION);
+        out.u32(self.ndim as u32);
+        out.u32(count as u32);
+
+        let mut col = ByteWriter::with_capacity(count * span * 8);
+        col.f64_slice(&self.bounds);
+        write_section(&mut out, SEC_BOUNDS, col.as_bytes());
+
+        let mut col = ByteWriter::with_capacity(count * span * 8);
+        col.f64_slice(&self.hulls);
+        write_section(&mut out, SEC_HULLS, col.as_bytes());
+
+        let mut col = ByteWriter::with_capacity(count * 8);
+        col.f64_slice(&self.freqs);
+        write_section(&mut out, SEC_FREQS, col.as_bytes());
+
+        // BFS layout: child ranges tile 1..count in node order, so the
+        // start cursor is derivable and only the ends are stored.
+        let mut col = ByteWriter::with_capacity(count * 4);
+        for &e in &self.child_end {
+            col.u32(e);
+        }
+        write_section(&mut out, SEC_CHILDREN, col.as_bytes());
+        out.into_bytes()
+    }
+
+    /// Decodes a snapshot produced by [`FrozenHistogram::to_bytes`],
+    /// verifying every section checksum and the full structural
+    /// invariants ([`FrozenHistogram::check_invariants`]) before handing
+    /// the snapshot out — arbitrary bytes can never yield a snapshot
+    /// that would panic or misestimate at serve time.
+    pub fn from_bytes(bytes: &[u8]) -> Result<crate::FrozenHistogram, DecodeError> {
+        use sth_platform::codec::read_section;
+        let mut r = ByteReader::new(bytes);
+        if r.take(4)? != FROZEN_MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != FROZEN_VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let ndim = r.u32()? as usize;
+        if ndim == 0 || ndim > 1024 {
+            return Err(DecodeError::Corrupt("implausible dimensionality"));
+        }
+        let count = r.count_u32(MAX_FROZEN_NODES, "implausible node count")?;
+        if count == 0 {
+            return Err(DecodeError::Corrupt("no nodes"));
+        }
+        let span = 2 * ndim;
+
+        let payload = read_section(&mut r, SEC_BOUNDS)?;
+        if payload.len() != count * span * 8 {
+            return Err(DecodeError::Corrupt("bounds section length mismatch"));
+        }
+        let bounds = ByteReader::new(payload).f64_vec(count * span)?;
+
+        let payload = read_section(&mut r, SEC_HULLS)?;
+        if payload.len() != count * span * 8 {
+            return Err(DecodeError::Corrupt("hulls section length mismatch"));
+        }
+        let hulls = ByteReader::new(payload).f64_vec(count * span)?;
+
+        let payload = read_section(&mut r, SEC_FREQS)?;
+        if payload.len() != count * 8 {
+            return Err(DecodeError::Corrupt("freqs section length mismatch"));
+        }
+        let freqs = ByteReader::new(payload).f64_vec(count)?;
+
+        let payload = read_section(&mut r, SEC_CHILDREN)?;
+        if payload.len() != count * 4 {
+            return Err(DecodeError::Corrupt("child section length mismatch"));
+        }
+        let mut cr = ByteReader::new(payload);
+        let mut child_start = Vec::with_capacity(count);
+        let mut child_end = Vec::with_capacity(count);
+        let mut cursor = 1u32;
+        for _ in 0..count {
+            let end = cr.u32()?;
+            if end < cursor || end as usize > count {
+                return Err(DecodeError::Corrupt("bad child range"));
+            }
+            child_start.push(cursor);
+            child_end.push(end);
+            cursor = end;
+        }
+        if cursor as usize != count {
+            return Err(DecodeError::Corrupt("child ranges do not tile the node set"));
+        }
+        r.expect_exhausted()?;
+
+        // Derived columns, recomputed with the freeze-time arithmetic so a
+        // decoded snapshot is bit-identical to the one that was encoded.
+        let vols: Vec<f64> =
+            (0..count).map(|i| crate::FrozenHistogram::packed_volume(&bounds[i * span..(i + 1) * span])).collect();
+        let own_vols: Vec<f64> = (0..count)
+            .map(|i| {
+                let mut v = vols[i];
+                for c in child_start[i]..child_end[i] {
+                    v -= vols[c as usize];
+                }
+                v.max(0.0)
+            })
+            .collect();
+        let mut depth = vec![0usize; count];
+        for i in 0..count {
+            for c in child_start[i]..child_end[i] {
+                depth[c as usize] = depth[i] + 1;
+            }
+        }
+        let snap = crate::FrozenHistogram {
+            ndim,
+            bounds,
+            hulls,
+            vols,
+            own_vols,
+            freqs,
+            child_start,
+            child_end,
+            max_depth: depth.iter().copied().max().unwrap_or(0),
+        };
+        snap.check_invariants().map_err(|_| DecodeError::Corrupt("invariant violation"))?;
+        Ok(snap)
+    }
+
+    /// 64-bit FNV-1a hash of [`FrozenHistogram::to_bytes`] — the golden
+    /// hash of the snapshot's logical state.
+    pub fn golden_hash(&self) -> u64 {
+        sth_platform::codec::fnv1a(&self.to_bytes())
     }
 }
 
@@ -283,5 +428,77 @@ mod tests {
         let back = StHoles::from_bytes(&h.to_bytes()).unwrap();
         assert_eq!(back.bucket_count(), 0);
         assert!((back.estimate(&Rect::cube(3, 0.0, 10.0)) - 42.0).abs() < 1e-9);
+    }
+
+    // ---- FrozenHistogram (STF1) -------------------------------------------
+
+    #[test]
+    fn frozen_roundtrip_is_bit_identical_estimates() {
+        // Mirrors `roundtrip_preserves_estimates`, but on the frozen codec
+        // and with the stronger `to_bits` contract: the decoded snapshot
+        // replays the exact float operations of the encoded one.
+        let h = trained();
+        let f = h.freeze();
+        let bytes = f.to_bytes();
+        let back = crate::FrozenHistogram::from_bytes(&bytes).unwrap();
+        assert_eq!(back.node_count(), f.node_count());
+        let probes = [
+            Rect::from_bounds(&[0.0, 0.0], &[1000.0, 1000.0]),
+            Rect::from_bounds(&[480.0, 100.0], &[520.0, 900.0]),
+            Rect::from_bounds(&[100.0, 480.0], &[900.0, 520.0]),
+            Rect::from_bounds(&[10.0, 10.0], &[50.0, 50.0]),
+        ];
+        for p in &probes {
+            assert_eq!(
+                f.estimate(p).to_bits(),
+                back.estimate(p).to_bits(),
+                "frozen roundtrip changed the estimate for {p}"
+            );
+        }
+        // Canonical: re-encoding the decoded snapshot is byte-identical.
+        assert_eq!(back.to_bytes(), bytes);
+        assert_eq!(back.golden_hash(), f.golden_hash());
+    }
+
+    #[test]
+    fn frozen_codec_is_canonical_over_slot_history() {
+        // A persist roundtrip remaps arena slots; freezing before and
+        // after must produce identical STF1 bytes (the id-remapping
+        // canonicalization guarantee of the live codec, inherited).
+        let h = trained();
+        let back = StHoles::from_bytes(&h.to_bytes()).unwrap();
+        assert_eq!(h.freeze().to_bytes(), back.freeze().to_bytes());
+    }
+
+    #[test]
+    fn frozen_rejects_garbage_and_bitflips() {
+        assert_eq!(
+            crate::FrozenHistogram::from_bytes(b"nope").unwrap_err(),
+            DecodeError::BadMagic
+        );
+        assert_eq!(
+            crate::FrozenHistogram::from_bytes(b"STF1\x07").unwrap_err(),
+            DecodeError::BadVersion(7)
+        );
+        let bytes = trained().freeze().to_bytes();
+        let mut truncated = bytes.clone();
+        truncated.truncate(truncated.len() - 3);
+        assert!(matches!(
+            crate::FrozenHistogram::from_bytes(&truncated).unwrap_err(),
+            DecodeError::Corrupt(_)
+        ));
+        // Single-byte flips in the section payloads are caught by the
+        // per-section CRC before any structural decoding can misfire.
+        for i in (0..bytes.len()).step_by(5) {
+            let mut m = bytes.clone();
+            m[i] ^= 0xFF;
+            if m == bytes {
+                continue;
+            }
+            assert!(
+                crate::FrozenHistogram::from_bytes(&m).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
     }
 }

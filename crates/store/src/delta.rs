@@ -1,0 +1,295 @@
+//! The append-only refine delta log.
+//!
+//! One CRC-framed record per absorbed query-feedback. A record carries
+//! everything the deterministic refine path consumes: the query
+//! rectangle, the true cardinality handed to
+//! `SelfTuning::refine_with_truth`, and the *materialized result rows* —
+//! drilling probes arbitrary sub-rectangles of the query against the
+//! per-query result set, so the rows (not just the count) are part of
+//! the replayed input. Replaying a log through the same refine code is
+//! bit-identical to the original run (proven by the crash-matrix test in
+//! `tests/crash_matrix.rs`).
+//!
+//! Framing: `[len: u32][payload][crc32(payload): u32]`, little-endian,
+//! records back to back. An append that dies mid-record leaves a torn
+//! tail; [`read_log`] stops at the last frame whose length, checksum,
+//! payload grammar, and sequence number all verify, and reports how many
+//! trailing bytes it dropped — distinguishing a *clean* shutdown from a
+//! truncated one.
+
+use sth_geometry::Rect;
+use sth_index::ResultSetCounter;
+use sth_platform::codec::{crc32, ByteReader, ByteWriter, CodecError};
+
+/// Upper bound on one record's payload, a corruption guard: a flipped
+/// length byte must not make the reader treat megabytes of garbage as a
+/// frame.
+pub const MAX_RECORD_BYTES: u32 = 1 << 28;
+
+/// One absorbed query-feedback, as logged.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeltaRecord {
+    /// Position in the store's absorb order, starting at 1; contiguous
+    /// within and across segments.
+    pub seq: u64,
+    /// The executed query.
+    pub query: Rect,
+    /// True cardinality passed to `refine_with_truth` (exact f64 bits).
+    pub truth: f64,
+    /// Dimensionality of the result rows.
+    pub ndim: usize,
+    /// Flat row-major materialized result stream, `rows.len() % ndim == 0`.
+    pub rows: Vec<f64>,
+}
+
+/// How a log segment's tail looked on read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TailState {
+    /// The segment ends exactly on a record boundary.
+    Clean,
+    /// Trailing bytes did not form a valid record and were dropped — a
+    /// torn append or in-place corruption.
+    Torn {
+        /// Bytes past the last valid record.
+        dropped_bytes: u64,
+    },
+}
+
+impl TailState {
+    /// `true` when the tail was truncated.
+    pub fn is_torn(&self) -> bool {
+        matches!(self, TailState::Torn { .. })
+    }
+}
+
+impl DeltaRecord {
+    /// Captures one absorbed feedback: the query, its materialized result
+    /// rows, and the truth count.
+    pub fn from_feedback(seq: u64, query: &Rect, result: &ResultSetCounter, truth: f64) -> Self {
+        let (rows, ndim) = result.flat_rows();
+        Self { seq, query: query.clone(), truth, ndim, rows: rows.to_vec() }
+    }
+
+    /// Rebuilds the result-set counter refine consumed.
+    pub fn counter(&self) -> ResultSetCounter {
+        if self.rows.is_empty() {
+            // `from_flat` with an empty buffer keeps ndim, but the
+            // original empty counter may have carried a different one;
+            // counts over no rows are dimension-agnostic either way.
+            ResultSetCounter::empty(self.ndim.max(1))
+        } else {
+            ResultSetCounter::from_flat(self.rows.clone(), self.ndim)
+        }
+    }
+
+    /// Appends this record's frame (`len | payload | crc`) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut payload = ByteWriter::with_capacity(32 + 16 * self.query.ndim() + 8 * self.rows.len());
+        payload.u64(self.seq);
+        payload.u32(self.query.ndim() as u32);
+        for d in 0..self.query.ndim() {
+            payload.f64(self.query.lo()[d]);
+        }
+        for d in 0..self.query.ndim() {
+            payload.f64(self.query.hi()[d]);
+        }
+        payload.f64(self.truth);
+        payload.u32(self.ndim as u32);
+        payload.u32((self.rows.len() / self.ndim.max(1)) as u32);
+        payload.f64_slice(&self.rows);
+        let payload = payload.into_bytes();
+        debug_assert!(payload.len() as u32 <= MAX_RECORD_BYTES);
+        let mut w = ByteWriter::with_capacity(payload.len() + 8);
+        w.u32(payload.len() as u32);
+        w.bytes(&payload);
+        w.u32(crc32(&payload));
+        out.extend_from_slice(w.as_bytes());
+    }
+
+    /// Encoded frame size in bytes.
+    pub fn frame_len(&self) -> usize {
+        8 + 28 + 16 * self.query.ndim() + 8 * self.rows.len()
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(payload);
+        let seq = r.u64()?;
+        let qdim = r.count_u32(1 << 8, "query dimensionality")?;
+        let mut lo = Vec::with_capacity(qdim);
+        let mut hi = Vec::with_capacity(qdim);
+        for _ in 0..qdim {
+            lo.push(r.finite_f64("query lower bound")?);
+        }
+        for _ in 0..qdim {
+            hi.push(r.finite_f64("query upper bound")?);
+        }
+        let query = Rect::new(&lo, &hi).map_err(|_| CodecError::Corrupt("invalid query rectangle"))?;
+        let truth = r.finite_f64("truth count")?;
+        if truth < 0.0 {
+            return Err(CodecError::Corrupt("negative truth count"));
+        }
+        let ndim = r.count_u32(1 << 8, "row dimensionality")?;
+        if ndim == 0 {
+            return Err(CodecError::Corrupt("zero row dimensionality"));
+        }
+        let nrows = r.count_u32((MAX_RECORD_BYTES / 8) as usize, "row count")?;
+        let mut rows = Vec::with_capacity(nrows.saturating_mul(ndim).min(1 << 20));
+        for _ in 0..nrows * ndim {
+            rows.push(r.finite_f64("result row value")?);
+        }
+        r.expect_exhausted()?;
+        Ok(Self { seq, query, truth, ndim, rows })
+    }
+}
+
+/// Parses a log segment, stopping at the first frame that fails to
+/// verify. `expect_first_seq` pins the sequence number the segment must
+/// start at; each subsequent record must increment it by one — a gap
+/// means the bytes are not the log we wrote, so parsing stops there
+/// (the contiguous prefix is still returned).
+///
+/// Returns the valid records, the tail state, and the byte length of the
+/// valid prefix.
+pub fn read_log(bytes: &[u8], expect_first_seq: u64) -> (Vec<DeltaRecord>, TailState, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let mut next_seq = expect_first_seq;
+    loop {
+        if pos == bytes.len() {
+            return (records, TailState::Clean, pos);
+        }
+        let rest = &bytes[pos..];
+        let torn = |pos: usize| TailState::Torn { dropped_bytes: (bytes.len() - pos) as u64 };
+        if rest.len() < 4 {
+            return (records, torn(pos), pos);
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap());
+        if len > MAX_RECORD_BYTES || rest.len() < 4 + len as usize + 4 {
+            return (records, torn(pos), pos);
+        }
+        let payload = &rest[4..4 + len as usize];
+        let crc = u32::from_le_bytes(rest[4 + len as usize..8 + len as usize].try_into().unwrap());
+        if crc32(payload) != crc {
+            return (records, torn(pos), pos);
+        }
+        let rec = match DeltaRecord::decode_payload(payload) {
+            Ok(rec) => rec,
+            Err(_) => return (records, torn(pos), pos),
+        };
+        if rec.seq != next_seq {
+            return (records, torn(pos), pos);
+        }
+        next_seq += 1;
+        records.push(rec);
+        pos += 8 + len as usize;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64) -> DeltaRecord {
+        DeltaRecord {
+            seq,
+            query: Rect::from_bounds(&[0.0, 1.0], &[2.0, 3.0]),
+            truth: 7.0,
+            ndim: 2,
+            rows: vec![0.5, 1.5, 1.0, 2.0],
+        }
+    }
+
+    fn log_of(recs: &[DeltaRecord]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in recs {
+            r.encode_into(&mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_preserves_records_exactly() {
+        let recs = vec![rec(1), rec(2), rec(3)];
+        let bytes = log_of(&recs);
+        let (back, tail, valid) = read_log(&bytes, 1);
+        assert_eq!(back, recs);
+        assert_eq!(tail, TailState::Clean);
+        assert_eq!(valid, bytes.len());
+        assert_eq!(recs[0].frame_len() * 3, bytes.len());
+    }
+
+    #[test]
+    fn empty_log_is_clean() {
+        let (recs, tail, valid) = read_log(&[], 1);
+        assert!(recs.is_empty());
+        assert_eq!(tail, TailState::Clean);
+        assert_eq!(valid, 0);
+    }
+
+    #[test]
+    fn torn_tail_truncates_at_last_valid_record() {
+        let recs = vec![rec(1), rec(2)];
+        let bytes = log_of(&recs);
+        let full = bytes.len();
+        for cut in 0..full {
+            let (back, tail, valid) = read_log(&bytes[..cut], 1);
+            // The valid prefix is a record-boundary cut of the original.
+            let boundary = recs[0].frame_len();
+            let expect_n = cut / boundary;
+            assert_eq!(back.len(), expect_n.min(2), "cut at {cut}");
+            assert_eq!(valid, expect_n * boundary);
+            if cut % boundary == 0 {
+                assert_eq!(tail, TailState::Clean, "cut at {cut}");
+            } else {
+                assert!(tail.is_torn(), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitflip_anywhere_drops_only_the_tail() {
+        let recs = vec![rec(1), rec(2), rec(3)];
+        let bytes = log_of(&recs);
+        let frame = recs[0].frame_len();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            let (back, _tail, _valid) = read_log(&bad, 1);
+            // Records before the flipped frame always survive.
+            let intact = i / frame;
+            assert!(back.len() >= intact, "flip at {i}: {} < {intact}", back.len());
+            for (k, r) in back.iter().take(intact).enumerate() {
+                assert_eq!(r, &recs[k], "flip at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_gap_stops_parsing() {
+        let bytes = log_of(&[rec(1), rec(3)]);
+        let (back, tail, _) = read_log(&bytes, 1);
+        assert_eq!(back.len(), 1);
+        assert!(tail.is_torn());
+        // Wrong starting seq: nothing parses.
+        let (none, tail, valid) = read_log(&bytes, 5);
+        assert!(none.is_empty());
+        assert!(tail.is_torn());
+        assert_eq!(valid, 0);
+    }
+
+    #[test]
+    fn empty_result_rows_roundtrip() {
+        let r = DeltaRecord {
+            seq: 1,
+            query: Rect::from_bounds(&[0.0], &[1.0]),
+            truth: 0.0,
+            ndim: 1,
+            rows: vec![],
+        };
+        let bytes = log_of(std::slice::from_ref(&r));
+        let (back, tail, _) = read_log(&bytes, 1);
+        assert_eq!(back, vec![r]);
+        assert_eq!(tail, TailState::Clean);
+        assert_eq!(back[0].counter().len(), 0);
+    }
+}

@@ -1,0 +1,400 @@
+//! The filesystem seam: everything the store writes or reads goes through
+//! the [`Vfs`] trait, so the same lifecycle code runs against the real
+//! filesystem ([`RealVfs`]), an in-memory map ([`MemVfs`]) for fast
+//! deterministic tests, and a fault-injecting wrapper ([`FaultVfs`]) that
+//! kills the "process" after an exact number of written bytes — the
+//! mechanism behind the crash-at-every-byte-offset recovery matrix.
+//!
+//! The crash model is *torn writes*: a failed write may leave any prefix
+//! of its bytes on disk, and a failed atomic publish may leave a complete
+//! or partial temp file but never a partial target. Writes after the
+//! first injected failure keep failing (the process is dead); reads keep
+//! working (the recovering process inspects the carcass).
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Minimal filesystem interface for the store lifecycle.
+///
+/// Only whole-file reads, appends, and atomic whole-file publishes — the
+/// three access patterns an LSM-style log/snapshot store needs. Paths are
+/// absolute or store-relative; implementations must be usable from
+/// multiple threads.
+pub trait Vfs: Send + Sync {
+    /// Reads the whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Appends `bytes` to `path`, creating the file if missing. A failure
+    /// may leave any prefix of `bytes` appended (torn tail).
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Publishes `bytes` as the full content of `path` atomically
+    /// (write-to-temp + rename). On failure the target either keeps its
+    /// previous content or is untouched; a stray temp file may remain.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Removes a file. Missing files are not an error.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+
+    /// File names (not paths) of the directory's entries, sorted.
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
+
+    /// Creates the directory (and parents) if missing.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// `true` when the file exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+fn temp_name(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// The real filesystem.
+///
+/// `append` opens/writes/closes per call and does not fsync: the failure
+/// model this store is tested against is torn/partial writes (which
+/// [`FaultVfs`] injects deterministically), not device-level reordering.
+#[derive(Clone, Debug, Default)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        f.write_all(bytes)?;
+        f.flush()
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = temp_name(path);
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match std::fs::remove_file(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// An in-memory filesystem: a `path → bytes` map behind a mutex.
+///
+/// Deterministic and allocation-cheap, so recovery property tests can
+/// run thousands of corrupted-store scenarios without touching disk.
+/// [`MemVfs::files`] / [`MemVfs::from_files`] snapshot and restore the
+/// whole "disk", which is how tests clone a recorded store state before
+/// mutilating it.
+#[derive(Debug, Default)]
+pub struct MemVfs {
+    files: Mutex<BTreeMap<PathBuf, Vec<u8>>>,
+}
+
+impl MemVfs {
+    /// An empty in-memory filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A filesystem pre-populated with `files`.
+    pub fn from_files(files: BTreeMap<PathBuf, Vec<u8>>) -> Self {
+        Self { files: Mutex::new(files) }
+    }
+
+    /// A snapshot of every file currently on this "disk".
+    pub fn files(&self) -> BTreeMap<PathBuf, Vec<u8>> {
+        self.files.lock().unwrap().clone()
+    }
+
+    /// Overwrites one file's bytes directly (test corruption injection).
+    pub fn set(&self, path: impl Into<PathBuf>, bytes: Vec<u8>) {
+        self.files.lock().unwrap().insert(path.into(), bytes);
+    }
+}
+
+impl Vfs for MemVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.files
+            .lock()
+            .unwrap()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.files.lock().unwrap().entry(path.to_path_buf()).or_default().extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.files.lock().unwrap().insert(path.to_path_buf(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.files.lock().unwrap().remove(path);
+        Ok(())
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let files = self.files.lock().unwrap();
+        let mut names: Vec<String> = files
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .filter_map(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn create_dir_all(&self, _dir: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.files.lock().unwrap().contains_key(path)
+    }
+}
+
+/// Wraps another [`Vfs`] with a byte-metered kill switch.
+///
+/// The wrapper holds a budget of writable bytes. Every write-side
+/// operation draws from it: `append` and the temp-write half of
+/// `write_atomic` cost their payload length, while the rename half of
+/// `write_atomic` and `remove` cost one unit each (they are metadata
+/// operations, but a crash can still land between them). The operation
+/// that exhausts the budget is *torn*: the affordable prefix of its bytes
+/// is written through, then it fails — and every later write fails
+/// immediately. Read-side operations always pass through, so the same
+/// wrapper can be used to recover the store it just killed.
+pub struct FaultVfs {
+    inner: Arc<dyn Vfs>,
+    budget: AtomicU64,
+    crashed: AtomicBool,
+    consumed: AtomicU64,
+}
+
+impl FaultVfs {
+    /// Kills the write path after exactly `budget` consumed units.
+    pub fn new(inner: Arc<dyn Vfs>, budget: u64) -> Self {
+        Self {
+            inner,
+            budget: AtomicU64::new(budget),
+            crashed: AtomicBool::new(false),
+            consumed: AtomicU64::new(0),
+        }
+    }
+
+    /// A wrapper that never crashes — used to *record* a run's total
+    /// write cost (via [`FaultVfs::consumed`]), which then bounds the
+    /// crash-matrix sweep.
+    pub fn unlimited(inner: Arc<dyn Vfs>) -> Self {
+        Self::new(inner, u64::MAX)
+    }
+
+    /// `true` once a fault has been injected.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    /// Write units consumed so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed.load(Ordering::Acquire)
+    }
+
+    /// Draws `cost` units; returns how many were granted. Anything less
+    /// than `cost` means the budget is exhausted and the crash flag is
+    /// now set.
+    fn draw(&self, cost: u64) -> u64 {
+        if self.crashed.load(Ordering::Acquire) {
+            return 0;
+        }
+        let granted;
+        let mut cur = self.budget.load(Ordering::Acquire);
+        loop {
+            let take = cost.min(cur);
+            match self.budget.compare_exchange(
+                cur,
+                cur - take,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    granted = take;
+                    break;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+        self.consumed.fetch_add(granted, Ordering::AcqRel);
+        if granted < cost {
+            self.crashed.store(true, Ordering::Release);
+        }
+        granted
+    }
+
+    fn died(&self) -> io::Error {
+        io::Error::other("injected crash: write budget exhausted")
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let granted = self.draw(bytes.len() as u64) as usize;
+        if granted < bytes.len() {
+            // Torn append: the affordable prefix lands on disk.
+            if granted > 0 {
+                self.inner.append(path, &bytes[..granted])?;
+            }
+            return Err(self.died());
+        }
+        self.inner.append(path, bytes)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let granted = self.draw(bytes.len() as u64) as usize;
+        if granted < bytes.len() {
+            // Crash while writing the temp file: a partial temp remains,
+            // the target is untouched.
+            if granted > 0 {
+                self.inner.append(&temp_name(path), &bytes[..granted])?;
+            }
+            return Err(self.died());
+        }
+        if self.draw(1) < 1 {
+            // Crash between temp write and rename: a complete temp file
+            // remains, the target is untouched.
+            self.inner.write_atomic(&temp_name(path), bytes)?;
+            return Err(self.died());
+        }
+        self.inner.write_atomic(path, bytes)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        if self.draw(1) < 1 {
+            return Err(self.died());
+        }
+        self.inner.remove(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.inner.list(dir)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_vfs_roundtrip_and_listing() {
+        let vfs = MemVfs::new();
+        let dir = Path::new("/store");
+        vfs.append(&dir.join("b.log"), b"hel").unwrap();
+        vfs.append(&dir.join("b.log"), b"lo").unwrap();
+        vfs.write_atomic(&dir.join("a.snap"), b"snap").unwrap();
+        assert_eq!(vfs.read(&dir.join("b.log")).unwrap(), b"hello");
+        assert_eq!(vfs.list(dir).unwrap(), vec!["a.snap".to_string(), "b.log".to_string()]);
+        vfs.remove(&dir.join("a.snap")).unwrap();
+        assert!(!vfs.exists(&dir.join("a.snap")));
+        // Removing a missing file is fine.
+        vfs.remove(&dir.join("a.snap")).unwrap();
+    }
+
+    #[test]
+    fn fault_vfs_tears_the_exact_byte() {
+        let mem = Arc::new(MemVfs::new());
+        let vfs = FaultVfs::new(mem.clone(), 3);
+        let p = Path::new("/store/x.log");
+        assert!(vfs.append(p, b"hello").is_err());
+        assert!(vfs.crashed());
+        assert_eq!(mem.read(p).unwrap(), b"hel");
+        // Dead processes stay dead.
+        assert!(vfs.append(p, b"x").is_err());
+        assert_eq!(mem.read(p).unwrap(), b"hel");
+        // But reads still work (recovery inspects the carcass).
+        assert_eq!(vfs.read(p).unwrap(), b"hel");
+    }
+
+    #[test]
+    fn fault_vfs_crash_between_temp_and_rename() {
+        let mem = Arc::new(MemVfs::new());
+        // Budget covers the payload but not the rename unit.
+        let vfs = FaultVfs::new(mem.clone(), 4);
+        let p = Path::new("/store/MANIFEST");
+        assert!(vfs.write_atomic(p, b"data").is_err());
+        assert!(!mem.exists(p));
+        assert_eq!(mem.read(Path::new("/store/MANIFEST.tmp")).unwrap(), b"data");
+    }
+
+    #[test]
+    fn fault_vfs_unlimited_records_consumption() {
+        let mem = Arc::new(MemVfs::new());
+        let vfs = FaultVfs::unlimited(mem);
+        vfs.append(Path::new("/a"), b"12345").unwrap();
+        vfs.write_atomic(Path::new("/b"), b"123").unwrap();
+        vfs.remove(Path::new("/a")).unwrap();
+        // 5 (append) + 3 + 1 (atomic write + rename) + 1 (remove).
+        assert_eq!(vfs.consumed(), 10);
+        assert!(!vfs.crashed());
+    }
+
+    #[test]
+    fn real_vfs_atomic_write_replaces_content() {
+        let dir = std::env::temp_dir().join(format!("sth-store-vfs-{}", std::process::id()));
+        let vfs = RealVfs;
+        vfs.create_dir_all(&dir).unwrap();
+        let p = dir.join("MANIFEST");
+        vfs.write_atomic(&p, b"one").unwrap();
+        vfs.write_atomic(&p, b"two").unwrap();
+        assert_eq!(vfs.read(&p).unwrap(), b"two");
+        vfs.append(&p, b"+tail").unwrap();
+        assert_eq!(vfs.read(&p).unwrap(), b"two+tail");
+        assert!(vfs.list(&dir).unwrap().contains(&"MANIFEST".to_string()));
+        vfs.remove(&p).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,87 @@
+#![allow(dead_code)] // each integration-test binary uses a subset of this module
+
+//! Shared fixture for the store integration tests: a small deterministic
+//! training run recorded against an in-memory filesystem, with the
+//! canonical golden hash of the histogram captured after every absorbed
+//! query. Every recovery assertion reduces to "the recovered state's
+//! golden hash equals the recorded hash at the recovered sequence".
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use sth_data::Dataset;
+use sth_geometry::Rect;
+use sth_histogram::StHoles;
+use sth_index::ScanCounter;
+use sth_store::vfs::{FaultVfs, MemVfs, Vfs};
+use sth_store::{DurableTrainer, StoreConfig};
+
+/// Store root inside the in-memory filesystem.
+pub const DIR: &str = "/store";
+
+/// A deterministic 2-d dataset: two interleaved diagonal bands.
+pub fn dataset() -> Dataset {
+    let n = 48;
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        xs.push(((i * 37) % 97) as f64);
+        ys.push(((i * 61 + 13) % 97) as f64);
+    }
+    Dataset::from_columns("store-fixture", Rect::cube(2, 0.0, 100.0), vec![xs, ys])
+}
+
+/// A deterministic query stream sweeping the domain.
+pub fn queries(n: usize) -> Vec<Rect> {
+    (0..n)
+        .map(|i| {
+            let x = ((i * 23) % 60) as f64;
+            let y = ((i * 41 + 7) % 55) as f64;
+            let w = 12.0 + ((i * 13) % 28) as f64;
+            let h = 10.0 + ((i * 17) % 32) as f64;
+            Rect::from_bounds(&[x, y], &[(x + w).min(100.0), (y + h).min(100.0)])
+        })
+        .collect()
+}
+
+/// A fresh untrained histogram over the fixture domain.
+pub fn fresh_hist(ds: &Dataset) -> StHoles {
+    StHoles::with_total(Rect::cube(2, 0.0, 100.0), 8, ds.len() as f64)
+}
+
+/// The store policy the fixture trains under: flush every 4 deltas,
+/// retain 3 generations.
+pub fn cfg() -> StoreConfig {
+    StoreConfig { flush_every_deltas: 4, flush_every_bytes: u64::MAX, retain_generations: 3 }
+}
+
+/// A recorded training run.
+pub struct Recorded {
+    /// Every file of the store directory after a clean run.
+    pub files: BTreeMap<PathBuf, Vec<u8>>,
+    /// `goldens[s]` = canonical golden hash after absorbing `s` queries.
+    pub goldens: Vec<u64>,
+    /// Sequence reached by the clean run (== number of queries).
+    pub final_seq: u64,
+    /// Write units the clean run consumed (crash-matrix sweep bound).
+    pub consumed: u64,
+}
+
+/// Trains `n` queries against a fresh in-memory store and records the
+/// per-sequence golden hashes plus the resulting on-disk state.
+pub fn record_run(n: usize) -> Recorded {
+    let ds = dataset();
+    let counter = ScanCounter::new(&ds);
+    let mem = Arc::new(MemVfs::new());
+    let vfs = Arc::new(FaultVfs::unlimited(mem.clone()));
+    let mut trainer =
+        DurableTrainer::create(DIR, vfs.clone() as Arc<dyn Vfs>, cfg(), fresh_hist(&ds))
+            .expect("create");
+    let mut goldens = vec![trainer.golden_hash()];
+    for q in queries(n) {
+        trainer.absorb(&q, &counter).expect("absorb");
+        goldens.push(trainer.golden_hash());
+    }
+    Recorded { files: mem.files(), goldens, final_seq: n as u64, consumed: vfs.consumed() }
+}

@@ -1,0 +1,155 @@
+//! The crash matrix: kill the writer at **every byte offset** of a
+//! recorded training run, recover, and demand the recovered histogram is
+//! bit-identical (canonical golden hash) to the uncrashed run at the
+//! recovered sequence.
+//!
+//! The sweep is exhaustive over the write stream: a clean run against
+//! [`sth_store::vfs::FaultVfs::unlimited`] records how many write units
+//! the whole run consumes (every appended byte, every snapshot byte,
+//! every rename, every GC unlink), then the same run is repeated once
+//! per budget `0..=total`, dying exactly there — torn delta frames,
+//! partial snapshot temp files, a manifest written but not renamed,
+//! death mid-GC, all of it, at every byte boundary.
+
+mod common;
+
+use std::sync::Arc;
+
+use sth_data::Dataset;
+use sth_index::ScanCounter;
+use sth_store::vfs::{FaultVfs, MemVfs, Vfs};
+use sth_store::{DurableTrainer, StoreError};
+
+use common::{cfg, dataset, fresh_hist, queries, record_run, DIR};
+
+/// One crashed run at the given write budget, then recovery.
+fn crash_and_recover(budget: u64, ds: &Dataset, n: usize, goldens: &[u64]) {
+    let counter = ScanCounter::new(ds);
+    let mem = Arc::new(MemVfs::new());
+    let vfs = Arc::new(FaultVfs::new(mem.clone(), budget));
+
+    // Run until the injected crash (or to completion on large budgets).
+    let mut durable_seq = 0u64;
+    match DurableTrainer::create(DIR, vfs.clone() as Arc<dyn Vfs>, cfg(), fresh_hist(ds)) {
+        Err(_) => {}
+        Ok(mut trainer) => {
+            for q in queries(n) {
+                if trainer.absorb(&q, &counter).is_err() {
+                    break;
+                }
+            }
+            // Appends that made it down are durable even when the absorb
+            // that performed them later failed in its flush step.
+            durable_seq = trainer.seq();
+        }
+    }
+
+    // Recover on the torn disk with writes allowed again.
+    match DurableTrainer::open(DIR, mem.clone() as Arc<dyn Vfs>, cfg()) {
+        Ok((recovered, report)) => {
+            assert_eq!(
+                recovered.seq(),
+                durable_seq,
+                "budget {budget}: recovered seq {} != durable seq {durable_seq}",
+                recovered.seq()
+            );
+            assert_eq!(report.seq, durable_seq, "budget {budget}");
+            assert_eq!(
+                recovered.golden_hash(),
+                goldens[durable_seq as usize],
+                "budget {budget}: state at seq {durable_seq} is not bit-identical"
+            );
+            // Recovery is idempotent: a second open lands on the same state.
+            let (again, _) = DurableTrainer::open(DIR, mem as Arc<dyn Vfs>, cfg())
+                .unwrap_or_else(|e| panic!("budget {budget}: second open failed: {e}"));
+            assert_eq!(again.seq(), durable_seq, "budget {budget}");
+            assert_eq!(again.golden_hash(), goldens[durable_seq as usize], "budget {budget}");
+        }
+        Err(StoreError::Corrupt(what)) => {
+            // Only legitimate before the very first manifest publish:
+            // with no manifest there is no store to recover.
+            assert!(
+                !mem.exists(&std::path::Path::new(DIR).join("MANIFEST")),
+                "budget {budget}: open said corrupt ({what}) but a manifest exists"
+            );
+            assert_eq!(durable_seq, 0, "budget {budget}");
+        }
+        Err(e) => panic!("budget {budget}: unexpected open error: {e}"),
+    }
+}
+
+#[test]
+fn recovery_is_bit_identical_at_every_crash_offset() {
+    let n = 11;
+    let rec = record_run(n);
+    assert_eq!(rec.goldens.len() as u64, rec.final_seq + 1);
+    let ds = dataset();
+    // Sanity: the recorded run's write cost bounds the sweep and is
+    // small enough to sweep exhaustively.
+    assert!(rec.consumed > 0 && rec.consumed < 100_000, "fixture grew: {}", rec.consumed);
+    for budget in 0..=rec.consumed {
+        crash_and_recover(budget, &ds, n, &rec.goldens);
+    }
+}
+
+#[test]
+fn double_crash_recovery_still_converges() {
+    // Crash mid-run, recover under a second tight budget (so recovery's
+    // own writes — reseal, tail truncation, GC — can crash too), keep
+    // absorbing until the second crash, then recover a third time with
+    // writes unrestricted. Because the query stream is deterministic and
+    // each life resumes at its recovered sequence, every life walks the
+    // same recorded golden-hash trajectory.
+    let n = 11;
+    let rec = record_run(n);
+    let ds = dataset();
+    let counter = ScanCounter::new(&ds);
+    let all = queries(n);
+    for first in (3..rec.consumed).step_by(41) {
+        let mem = Arc::new(MemVfs::new());
+        let vfs = Arc::new(FaultVfs::new(mem.clone(), first));
+        if let Ok(mut t) =
+            DurableTrainer::create(DIR, vfs as Arc<dyn Vfs>, cfg(), fresh_hist(&ds))
+        {
+            for q in &all {
+                if t.absorb(q, &counter).is_err() {
+                    break;
+                }
+            }
+        }
+
+        // Second life: a tighter budget than a full retrain needs.
+        let vfs2 = Arc::new(FaultVfs::new(mem.clone(), 600));
+        if let Ok((mut t2, report2)) = DurableTrainer::open(DIR, vfs2 as Arc<dyn Vfs>, cfg()) {
+            assert_eq!(
+                t2.golden_hash(),
+                rec.goldens[report2.seq as usize],
+                "first budget {first}: second life not on the recorded trajectory"
+            );
+            for q in all.iter().skip(report2.seq as usize) {
+                if t2.absorb(q, &counter).is_err() {
+                    break;
+                }
+            }
+        }
+
+        // Third life: unrestricted. Must land on the recorded trajectory.
+        match DurableTrainer::open(DIR, mem.clone() as Arc<dyn Vfs>, cfg()) {
+            Ok((t3, report3)) => {
+                assert!(report3.seq <= n as u64, "first budget {first}");
+                assert_eq!(
+                    t3.golden_hash(),
+                    rec.goldens[report3.seq as usize],
+                    "first budget {first}: third life not on the recorded trajectory"
+                );
+            }
+            Err(StoreError::Corrupt(_)) => {
+                assert!(
+                    !mem.exists(&std::path::Path::new(DIR).join("MANIFEST")),
+                    "first budget {first}: corrupt despite a published manifest"
+                );
+            }
+            Err(e) => panic!("first budget {first}: unexpected open error: {e}"),
+        }
+    }
+}

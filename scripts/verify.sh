@@ -30,6 +30,14 @@ echo "verify: observability example OK ($(wc -l < "$trace_log") trace events)"
 STH_AUDIT=1 cargo run -q --release --offline --example serving > /dev/null
 echo "verify: serving example OK"
 
+# Durability acceptance: train through the write-ahead store, kill the run
+# mid-stream with an injected filesystem fault, reopen the torn directory
+# and finish bit-identically to a never-crashed reference run. The example
+# also time-travels every retained snapshot generation and round-trips the
+# protocol through the real filesystem in a scratch directory.
+STH_AUDIT=1 cargo run -q --release --offline --example durability > /dev/null
+echo "verify: durability example OK"
+
 # Opt-in perf stage (not tier-1): smoke-run the core_ops benches and fail
 # on large median regressions against the committed baseline.
 if [[ "${STH_VERIFY_BENCH:-0}" == "1" ]]; then

@@ -14,7 +14,9 @@
 //!   range-count index (the simulated execution engine), and workload
 //!   tooling;
 //! * [`baselines`], [`eval`] — reference estimators and the experiment
-//!   harness regenerating every table/figure of the paper.
+//!   harness regenerating every table/figure of the paper;
+//! * [`store::Store`] — a durable snapshot + delta-log store with
+//!   crash-consistent, bit-identical recovery of a training run.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +51,7 @@ pub use sth_index as index;
 pub use sth_mineclus as mineclus;
 pub use sth_platform as platform;
 pub use sth_query as query;
+pub use sth_store as store;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {
@@ -66,6 +69,7 @@ pub mod prelude {
     pub use sth_query::{
         CardinalityEstimator, Estimator, RangeQuery, SelfTuning, Workload, WorkloadSpec,
     };
+    pub use sth_store::{DurableTrainer, Store, StoreConfig};
 
     /// Ergonomic conversion used in the crate-level example.
     pub trait IntoQuery {
