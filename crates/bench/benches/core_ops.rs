@@ -80,6 +80,41 @@ fn bench_estimate_frozen(c: &mut Bench) {
     g.finish();
 }
 
+fn bench_batch_kernel(c: &mut Bench) {
+    // The lane-oriented batch kernel vs the scalar per-query loop on the
+    // same frozen snapshot and probe set. Names carry the batch size so
+    // per-query numbers divide out; `estimate_frozen/batch64_*` (above)
+    // stays as the dispatching entry point for trajectory comparison.
+    let mut g = c.benchmark_group("batch_kernel");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for buckets in [50usize, 250] {
+        let (h, probes) = trained_histogram(buckets);
+        let frozen = h.freeze();
+        for batch in [16usize, 64] {
+            let slice = &probes[..batch.min(probes.len())];
+            g.bench_function(format!("kernel{batch}_buckets_{buckets}"), |b| {
+                let mut out = Vec::with_capacity(batch);
+                b.iter(|| {
+                    frozen.estimate_batch_kernel(slice, &mut out);
+                    black_box(out.len())
+                });
+            });
+            g.bench_function(format!("scalar{batch}_buckets_{buckets}"), |b| {
+                let mut out = Vec::with_capacity(batch);
+                b.iter(|| {
+                    out.clear();
+                    for q in slice {
+                        out.push(frozen.estimate(q));
+                    }
+                    black_box(out.len())
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_serve_concurrent(c: &mut Bench) {
     // One full train-while-serving run: trainer refines + republishes,
     // scope_map readers answer batches from pinned snapshots.
@@ -292,6 +327,7 @@ fn main() {
         .output_at(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core_ops.json"));
     bench_estimate(&mut c);
     bench_estimate_frozen(&mut c);
+    bench_batch_kernel(&mut c);
     bench_serve_concurrent(&mut c);
     bench_store_ops(&mut c);
     bench_refine(&mut c);

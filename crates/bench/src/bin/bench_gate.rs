@@ -6,9 +6,9 @@
 //! bench_gate <baseline.json> <fresh.json> [max_regression_pct]
 //! ```
 //!
-//! Only the `refine`, `estimate`, `estimate_frozen`, `serve_concurrent`,
-//! and `store_ops` groups are gated — they are the operations the perf
-//! work targets; dataset/index ablations are
+//! Only the `refine`, `estimate`, `estimate_frozen`, `batch_kernel`,
+//! `serve_concurrent`, and `store_ops` groups are gated — they are the
+//! operations the perf work targets; dataset/index ablations are
 //! informational. The default allowance is 30%: fresh runs come from
 //! `STH_BENCH_FAST=1` smoke mode on whatever machine is at hand, so the
 //! gate hunts order-of-magnitude regressions (an accidentally
@@ -18,8 +18,14 @@ use std::process::ExitCode;
 
 use sth_platform::bench::{compare_reports, parse_report};
 
-const GATED_GROUPS: &[&str] =
-    &["refine", "estimate", "estimate_frozen", "serve_concurrent", "store_ops"];
+const GATED_GROUPS: &[&str] = &[
+    "refine",
+    "estimate",
+    "estimate_frozen",
+    "batch_kernel",
+    "serve_concurrent",
+    "store_ops",
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();

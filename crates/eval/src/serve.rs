@@ -182,7 +182,8 @@ pub fn serve_concurrent(
                 let end = (cursor + cfg.batch).min(rects.len());
                 let batch = &rects[cursor..end];
                 cursor = end % rects.len();
-                out.clear();
+                // `estimate_batch` clears-then-fills `out` (and routes
+                // kernel-sized batches through the lane-oriented kernel).
                 snap.estimate_batch(batch, &mut out);
                 for (est, q) in out.iter().zip(batch) {
                     assert!(
@@ -360,7 +361,8 @@ pub fn serve_durable(
                 let end = (cursor + cfg.batch).min(rects.len());
                 let batch = &rects[cursor..end];
                 cursor = end % rects.len();
-                out.clear();
+                // `estimate_batch` clears-then-fills `out` (and routes
+                // kernel-sized batches through the lane-oriented kernel).
                 snap.estimate_batch(batch, &mut out);
                 for (est, q) in out.iter().zip(batch) {
                     assert!(

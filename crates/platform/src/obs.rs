@@ -85,11 +85,17 @@ pub enum Counter {
     StoreDeltaAppends,
     /// Snapshot generations flushed by a store.
     StoreSnapshotFlushes,
+    /// Invocations of the lane-oriented batch-estimate kernel
+    /// (`FrozenHistogram::estimate_batch_kernel`).
+    BatchKernelCalls,
+    /// Candidate (query × child) lane expansions the batch kernel skipped —
+    /// hull-gated lanes plus zero-overlap children that never spawned.
+    BatchLanesPruned,
 }
 
 impl Counter {
     /// Every counter, in JSON/report order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 22] = [
         Counter::Queries,
         Counter::IndexProbes,
         Counter::ResultRows,
@@ -110,6 +116,8 @@ impl Counter {
         Counter::SnapshotLoads,
         Counter::StoreDeltaAppends,
         Counter::StoreSnapshotFlushes,
+        Counter::BatchKernelCalls,
+        Counter::BatchLanesPruned,
     ];
 
     /// Stable snake_case name used in event-log JSON.
@@ -135,6 +143,8 @@ impl Counter {
             Counter::SnapshotLoads => "snapshot_loads",
             Counter::StoreDeltaAppends => "store_delta_appends",
             Counter::StoreSnapshotFlushes => "store_snapshot_flushes",
+            Counter::BatchKernelCalls => "batch_kernel_calls",
+            Counter::BatchLanesPruned => "batch_lanes_pruned",
         }
     }
 }

@@ -31,11 +31,18 @@ pub trait Estimator: CardinalityEstimator {
     /// diagnostics only; `1` for single-bucket estimators.
     fn bucket_count(&self) -> usize;
 
-    /// Estimates every query in `queries`, appending one value per query to
-    /// `out`. The default maps [`CardinalityEstimator::estimate`];
-    /// implementations with per-query setup cost (traversal scratch, …)
-    /// override this to amortize it across the batch.
+    /// Estimates every query in `queries`, **clearing** `out` and filling
+    /// it with exactly one value per query, in query order.
+    ///
+    /// Clear-then-fill is the contract every implementor must honor:
+    /// `out.len() == queries.len()` on return regardless of the buffer's
+    /// prior contents, so callers can reuse one buffer across batches
+    /// without pairing every call with a manual `clear()` (the serve loops
+    /// rely on this). The default maps [`CardinalityEstimator::estimate`];
+    /// implementations with per-query setup cost (traversal scratch, batch
+    /// kernels, …) override this to amortize it across the batch.
     fn estimate_batch(&self, queries: &[Rect], out: &mut Vec<f64>) {
+        out.clear();
         out.reserve(queries.len());
         for q in queries {
             out.push(self.estimate(q));
@@ -116,13 +123,15 @@ mod tests {
     }
 
     #[test]
-    fn default_batch_maps_estimate() {
+    fn default_batch_clears_then_fills() {
         let est: Box<dyn Estimator> = Box::new(Fixed(7.0));
         assert_eq!(est.ndim(), 2);
         assert_eq!(est.bucket_count(), 1);
         let queries = vec![Rect::cube(2, 0.0, 1.0), Rect::cube(2, 1.0, 2.0)];
-        let mut out = vec![0.0]; // batches append, they do not clear
+        let mut out = vec![999.0]; // stale garbage: the contract clears it
         est.estimate_batch(&queries, &mut out);
-        assert_eq!(out, vec![0.0, 7.0, 7.0]);
+        assert_eq!(out, vec![7.0, 7.0]);
+        est.estimate_batch(&[], &mut out);
+        assert!(out.is_empty(), "an empty batch leaves an empty buffer");
     }
 }

@@ -25,10 +25,13 @@
 //! whole snapshot is seven flat arrays, trivially cheap to clone, share
 //! (`Arc`), or ship across threads (see `sth_platform::snap`).
 
+use std::cell::RefCell;
+
 use sth_geometry::Rect;
 use sth_platform::obs;
 use sth_query::{CardinalityEstimator, Estimator};
 
+use crate::kernel::KERNEL_MIN_BATCH;
 use crate::{ConsistentStHoles, StHoles};
 
 /// One suspended traversal level: the node being expanded, its remaining
@@ -50,13 +53,29 @@ struct Frame {
 }
 
 /// Reusable traversal buffers: the frame stack and one packed query box
-/// per depth level. Local to each estimate call (or batch), so the
+/// per depth level. Pooled per thread (see [`with_scratch`]), so the
 /// snapshot itself stays free of interior mutability and is `Sync`.
 #[derive(Default)]
 struct FrozenScratch {
     frames: Vec<Frame>,
     /// Stacked packed query boxes, `2·ndim` values per depth level.
     qbs: Vec<f64>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<FrozenScratch> = RefCell::new(FrozenScratch::default());
+}
+
+/// Runs `f` with this thread's pooled traversal scratch, so single-query
+/// [`CardinalityEstimator::estimate`] calls stop allocating a fresh frame
+/// stack each time. Reentrancy (an estimate called from inside another
+/// estimate's scope — not something the crate does) degrades to a fresh
+/// scratch instead of panicking.
+fn with_scratch<R>(f: impl FnOnce(&mut FrozenScratch) -> R) -> R {
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut FrozenScratch::default()),
+    })
 }
 
 /// An immutable, flattened snapshot of an [`StHoles`] bucket tree, built
@@ -429,8 +448,7 @@ impl FrozenHistogram {
 
 impl CardinalityEstimator for FrozenHistogram {
     fn estimate(&self, rect: &Rect) -> f64 {
-        let mut scratch = FrozenScratch::default();
-        self.estimate_with(&mut scratch, rect)
+        with_scratch(|scratch| self.estimate_with(scratch, rect))
     }
 
     fn name(&self) -> &str {
@@ -448,13 +466,22 @@ impl Estimator for FrozenHistogram {
         self.vols.len() - 1
     }
 
-    /// Batch estimation sharing one traversal scratch across the whole
-    /// batch — the serve-loop fast path.
+    /// Batch estimation — the serve-loop fast path. Clears `out`, then
+    /// routes batches of [`KERNEL_MIN_BATCH`] or more through the
+    /// lane-oriented kernel (`kernel.rs`); smaller batches take the scalar
+    /// loop with one shared traversal scratch, whose per-query results the
+    /// kernel is proven bit-identical to.
     fn estimate_batch(&self, queries: &[Rect], out: &mut Vec<f64>) {
-        let mut scratch = FrozenScratch::default();
-        out.reserve(queries.len());
-        for q in queries {
-            out.push(self.estimate_with(&mut scratch, q));
+        if queries.len() >= KERNEL_MIN_BATCH {
+            self.estimate_batch_kernel(queries, out);
+        } else {
+            out.clear();
+            with_scratch(|scratch| {
+                out.reserve(queries.len());
+                for q in queries {
+                    out.push(self.estimate_with(scratch, q));
+                }
+            });
         }
     }
 }

@@ -30,6 +30,7 @@ mod drill;
 mod frozen;
 mod histogram;
 mod image;
+mod kernel;
 mod merge;
 mod persist;
 mod scratch;

@@ -6,7 +6,7 @@ use sth_data::Dataset;
 use sth_geometry::Rect;
 use sth_histogram::StHoles;
 use sth_index::ScanCounter;
-use sth_query::{CardinalityEstimator, SelfTuning};
+use sth_query::{CardinalityEstimator, Estimator, SelfTuning};
 
 /// Builds a small 2-d dataset from a point list within [0, 100)².
 fn dataset(points: &[(f64, f64)]) -> Dataset {
@@ -140,6 +140,60 @@ check! {
                 h.dump()
             );
         }
+    }
+
+    #[test]
+    fn batch_kernel_is_bit_identical_to_scalar(
+        points in collection::vec(point_strategy(), 20..150),
+        queries in collection::vec(query_strategy(), 1..30),
+        probes in collection::vec(query_strategy(), 0..40),
+        budget in 2usize..24,
+    ) {
+        // The batch-kernel contract: the lane-oriented level-synchronous
+        // traversal produces the exact f64 of the scalar frame-stack walk
+        // for every query, bit for bit — including the empty batch, a
+        // batch of one, and queries entirely outside the root hull.
+        let ds = dataset(&points);
+        let counter = ScanCounter::new(&ds);
+        let domain = Rect::cube(2, 0.0, 100.0);
+        let mut h = StHoles::with_total(domain.clone(), budget, ds.len() as f64);
+        for q in &queries {
+            h.refine(q, &counter);
+        }
+        let frozen = h.freeze();
+
+        // Batch mix: random probes + the domain + boxes strictly outside
+        // the root hull (zero overlap: the kernel must report exactly 0.0).
+        let mut batch = probes.clone();
+        batch.push(domain);
+        batch.push(Rect::cube(2, 150.0, 250.0));
+        batch.push(Rect::from_bounds(&[-50.0, -50.0], &[-1.0, -1.0]));
+
+        let mut kernel_out = vec![f64::NAN; 3]; // stale garbage: must clear
+        frozen.estimate_batch_kernel(&batch, &mut kernel_out);
+        prop_assert!(kernel_out.len() == batch.len());
+        let mut dispatch_out = Vec::new();
+        frozen.estimate_batch(&batch, &mut dispatch_out);
+        prop_assert!(dispatch_out.len() == batch.len());
+        for (i, q) in batch.iter().enumerate() {
+            let scalar = frozen.estimate(q);
+            prop_assert!(
+                kernel_out[i].to_bits() == scalar.to_bits(),
+                "kernel {} != scalar {scalar} for {q}\n{}",
+                kernel_out[i],
+                h.dump()
+            );
+            prop_assert!(dispatch_out[i].to_bits() == scalar.to_bits());
+        }
+
+        // Degenerate batch shapes through the kernel entry point itself.
+        let mut tiny = Vec::new();
+        frozen.estimate_batch_kernel(&[], &mut tiny);
+        prop_assert!(tiny.is_empty());
+        let single = [batch[0].clone()];
+        frozen.estimate_batch_kernel(&single, &mut tiny);
+        prop_assert!(tiny.len() == 1);
+        prop_assert!(tiny[0].to_bits() == frozen.estimate(&batch[0]).to_bits());
     }
 
     #[test]

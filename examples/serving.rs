@@ -13,7 +13,10 @@
 //! * every loaded snapshot passes `FrozenHistogram::check_invariants`
 //!   (audit mode is forced on, so a torn publish would panic);
 //! * re-freezing the trained histogram afterwards answers bit-identically
-//!   to the live estimation path.
+//!   to the live estimation path;
+//! * batched estimation goes through the lane-oriented kernel
+//!   (`batch_kernel_calls` advances) and the per-query batch speedup over
+//!   the single-query frozen path is reported.
 //!
 //! ```text
 //! STH_AUDIT=1 cargo run --release --example serving
@@ -103,6 +106,45 @@ fn main() {
         assert_eq!(live.to_bits(), snap.to_bits(), "frozen/live divergence on {}", q.rect());
     }
     println!("frozen estimates bit-identical to live on {} probes", 64);
+
+    // -- Batch-kernel speedup report ---------------------------------------
+    // The serve loop answers 32-query batches, so every reader batch above
+    // the dispatch threshold went through the lane-oriented kernel. Measure
+    // the per-query win on this trained snapshot: batch-64 kernel vs the
+    // single-query frozen walk over the same probes.
+    let probes: Vec<Rect> =
+        serve.queries().iter().take(64).map(|q| q.rect().clone()).collect();
+    let before = obs::snapshot();
+    let mut out = Vec::new();
+    frozen.estimate_batch(&probes, &mut out);
+    let delta = obs::snapshot().delta(&before);
+    assert_eq!(
+        delta.get(obs::Counter::BatchKernelCalls),
+        1,
+        "batch of 64 must route through the kernel"
+    );
+
+    let iters = 300;
+    let t = std::time::Instant::now();
+    for _ in 0..iters {
+        frozen.estimate_batch(&probes, &mut out);
+    }
+    let batch_ns = t.elapsed().as_secs_f64() * 1e9 / (iters * probes.len()) as f64;
+    let t = std::time::Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..iters {
+        for q in &probes {
+            acc += frozen.estimate(q);
+        }
+    }
+    let single_ns = t.elapsed().as_secs_f64() * 1e9 / (iters * probes.len()) as f64;
+    assert!(acc.is_finite());
+    println!(
+        "batch kernel: {batch_ns:.0} ns/query batched (64) vs {single_ns:.0} ns/query single \
+         — {:.2}x per-query speedup, {} lanes pruned",
+        single_ns / batch_ns,
+        delta.get(obs::Counter::BatchLanesPruned)
+    );
 
     obs::force_audit(false);
     obs::force_metrics(false);

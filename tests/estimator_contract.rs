@@ -1,0 +1,63 @@
+//! Regression test for the [`Estimator::estimate_batch`] output contract:
+//! every implementor **clears** `out`, then fills it with exactly one value
+//! per query (in query order), and the batched values equal the per-query
+//! [`CardinalityEstimator::estimate`] results bit for bit.
+//!
+//! The contract used to be "append without clearing", which forced every
+//! call site to pair the call with a manual `clear()` — and made a missed
+//! clear a silent answer-misalignment bug in the serve loop. This test
+//! sweeps the whole implementor zoo so no estimator drifts back.
+
+use sth::baselines::{AviHistogram, EquiDepthHistogram, EquiWidthGrid, TrivialHistogram};
+use sth::prelude::*;
+
+fn batch_contract_holds(est: &dyn Estimator, queries: &[Rect], label: &str) {
+    // Stale garbage in the buffer: the implementor must clear it.
+    let mut out = vec![f64::NAN; 5];
+    est.estimate_batch(queries, &mut out);
+    assert_eq!(out.len(), queries.len(), "{label}: one output per query");
+    for (q, got) in queries.iter().zip(&out) {
+        let single = est.estimate(q);
+        assert_eq!(
+            got.to_bits(),
+            single.to_bits(),
+            "{label}: batch diverges from single estimate on {q}"
+        );
+    }
+    // Reusing the same buffer for an empty batch must empty it.
+    est.estimate_batch(&[], &mut out);
+    assert!(out.is_empty(), "{label}: empty batch must leave an empty buffer");
+}
+
+#[test]
+fn every_estimator_clears_then_fills() {
+    let data = sth::data::cross::CrossSpec::cross2d().scaled(0.05).generate();
+    let engine = KdCountTree::build(&data);
+    let wl = WorkloadSpec { count: 40, ..WorkloadSpec::paper(0.01, 77) }
+        .generate(data.domain(), None);
+    let queries: Vec<Rect> = wl.queries().iter().map(|q| q.rect().clone()).collect();
+
+    // Self-tuning estimators, trained a little so the tree has real holes.
+    let mut stholes = build_uninitialized(&data, 30);
+    let mut consistent = ConsistentStHoles::new(
+        build_uninitialized(&data, 30),
+        ConsistencyConfig::default(),
+    );
+    for q in &queries[..20] {
+        stholes.refine(q, &engine);
+        consistent.refine(q, &engine);
+    }
+    let frozen = stholes.freeze();
+
+    // Batch sizes straddling the kernel dispatch threshold, plus the
+    // degenerate shapes: the contract holds on every path.
+    for slice in [&queries[..], &queries[..3], &queries[..1]] {
+        batch_contract_holds(&stholes, slice, "stholes");
+        batch_contract_holds(&consistent, slice, "stholes+ipf");
+        batch_contract_holds(&frozen, slice, "stholes-frozen");
+        batch_contract_holds(&TrivialHistogram::for_dataset(&data), slice, "trivial");
+        batch_contract_holds(&EquiWidthGrid::build(&data, 8), slice, "equi-width");
+        batch_contract_holds(&EquiDepthHistogram::build(&data, 30), slice, "equi-depth");
+        batch_contract_holds(&AviHistogram::build(&data, 16), slice, "avi");
+    }
+}
