@@ -321,6 +321,38 @@ fn bench_counting(c: &mut Bench) {
     g.finish();
 }
 
+fn bench_obs_overhead(c: &mut Bench) {
+    // Telemetry cost pins. The `_disabled` rows are the serving default
+    // (no STH_METRICS / STH_TRACE / STH_FLIGHT): every recording entry
+    // point must stay a relaxed load + branch, which the bench gate
+    // enforces across PRs. The `_enabled` row documents the opt-in cost
+    // of a histogram bump for reference.
+    use sth_platform::obs;
+    let mut g = c.benchmark_group("obs_overhead");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    obs::force_metrics(false);
+    obs::flight::force(false);
+    g.bench_function("counter_add_disabled", |b| {
+        b.iter(|| obs::add(obs::Counter::Queries, black_box(1)))
+    });
+    g.bench_function("record_hist_disabled", |b| {
+        b.iter(|| obs::record_hist(obs::HistKind::BatchEstimateNs, black_box(42)))
+    });
+    g.bench_function("hist_timer_disabled", |b| {
+        b.iter(|| black_box(obs::time_hist(obs::HistKind::RefineNs)))
+    });
+    g.bench_function("event_disabled", |b| {
+        b.iter(|| obs::event("bench", &[("i", obs::FieldValue::Int(black_box(1)))]))
+    });
+    obs::force_metrics(true);
+    g.bench_function("record_hist_enabled", |b| {
+        b.iter(|| obs::record_hist(obs::HistKind::BatchEstimateNs, black_box(42)))
+    });
+    obs::force_metrics(false);
+    g.finish();
+}
+
 fn main() {
     // Anchor the JSON report at the repo root (perf trajectory).
     let mut c = Bench::new("core_ops")
@@ -335,5 +367,6 @@ fn main() {
     bench_traversal(&mut c);
     bench_best_merge(&mut c);
     bench_counting(&mut c);
+    bench_obs_overhead(&mut c);
     c.finish();
 }

@@ -18,6 +18,7 @@ mod runner;
 mod serve;
 mod spec;
 mod table;
+mod timeline;
 
 pub use metrics::{evaluate_self_tuning, evaluate_static, normalized_absolute_error};
 pub use runner::{run_simulation, sweep, RunConfig, RunOutcome, RunProvenance, Variant};
@@ -25,6 +26,7 @@ pub use serve::{
     freeze_for_serving, serve_concurrent, serve_durable, DurableServeReport, ReaderStats,
     ServeConfig, ServeReport,
 };
+pub use timeline::{EpochRow, EpochTimeline};
 pub use spec::{DatasetSpec, ExperimentCtx, PreparedDataset};
 pub use table::Table;
 

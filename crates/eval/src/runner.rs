@@ -212,7 +212,7 @@ pub fn run_simulation(prep: &PreparedDataset, variant: &Variant, cfg: &RunConfig
         sim_secs: sim_only_secs,
         counters: obs::snapshot().delta(&obs_before),
     };
-    if obs::trace_enabled() {
+    if obs::event_enabled() {
         obs::event(
             "run",
             &[
@@ -265,7 +265,7 @@ pub fn sweep(
     });
     // Per-worker counters merge in job order — the result is byte-identical
     // regardless of how many threads executed the fan-out.
-    if sth_platform::obs::trace_enabled() {
+    if sth_platform::obs::event_enabled() {
         use sth_platform::obs;
         let mut merged = obs::Snapshot::default();
         for o in &outcomes {

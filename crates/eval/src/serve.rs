@@ -11,7 +11,15 @@
 //!
 //! Under `STH_AUDIT=1` every loaded snapshot is structurally verified
 //! before serving from it — a torn or half-published snapshot would fail
-//! [`FrozenHistogram::check_invariants`] and panic the run.
+//! [`FrozenHistogram::check_invariants`] and panic the run. Trainer and
+//! reader loops carry [`obs::flight::FlightDump`] guards, so with
+//! `STH_FLIGHT` set any such panic (or a store poisoning) leaves a
+//! black-box trace of the final pre-crash events.
+//!
+//! Every batch is attributed to the epoch of the snapshot that answered
+//! it; the assembled [`EpochTimeline`] rides on the reports with
+//! per-epoch batch-latency quantiles, kernel counters, and (for durable
+//! runs) store flush bytes.
 //!
 //! The loop terminates cleanly: the trainer publishes a final snapshot of
 //! the fully trained histogram, then raises a done flag; each reader
@@ -21,8 +29,9 @@
 //! (epoch 1) snapshot is observed too — every run therefore serves from
 //! at least two distinct epochs.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
 
 use sth_geometry::Rect;
 use sth_histogram::{FrozenHistogram, StHoles};
@@ -30,6 +39,8 @@ use sth_index::{RangeCounter, ResultSetCounter};
 use sth_platform::obs;
 use sth_platform::snap::SnapshotCell;
 use sth_query::{Estimator, SelfTuning, Workload};
+
+use crate::timeline::{counter_marks, EpochRow, EpochTimeline};
 
 /// Knobs for [`serve_concurrent`].
 #[derive(Clone, Debug)]
@@ -62,7 +73,9 @@ pub struct ReaderStats {
     pub epochs: Vec<u64>,
 }
 
-/// Outcome of one [`serve_concurrent`] run.
+/// Outcome of one [`serve_concurrent`] run — and, via `Deref`, the core
+/// of a [`DurableServeReport`]. The shared accessors and the
+/// [`EpochTimeline`] renderings live here once.
 #[derive(Clone, Debug)]
 pub struct ServeReport {
     /// Snapshots the trainer republished (excluding the initial one).
@@ -76,6 +89,9 @@ pub struct ServeReport {
     /// Counters and stats attributable to this run (trainer + readers,
     /// merged in deterministic order).
     pub counters: obs::Snapshot,
+    /// Per-epoch serving activity (batches, latency quantiles, kernel
+    /// and store counters), epochs 1 through `final_epoch`.
+    pub timeline: EpochTimeline,
 }
 
 impl ServeReport {
@@ -92,6 +108,104 @@ impl ServeReport {
     /// Total snapshots audited across all readers.
     pub fn audited(&self) -> u64 {
         self.readers.iter().map(|r| r.audited).sum()
+    }
+}
+
+/// One reader worker's loop, shared by [`serve_concurrent`] and
+/// [`serve_durable`]: pin a snapshot, audit it when asked, answer one
+/// batch, attribute the work to the snapshot's epoch — until one extra
+/// drain batch after the trainer finishes.
+fn run_reader(
+    ri: usize,
+    rects: &[Rect],
+    cell: &SnapshotCell<FrozenHistogram>,
+    done: &AtomicBool,
+    readers_started: &AtomicU64,
+    batch_size: usize,
+) -> (ReaderStats, obs::Snapshot, BTreeMap<u64, EpochRow>) {
+    let _flight = obs::flight::FlightDump::new("serve reader");
+    let obs_before = obs::snapshot();
+    let audit = obs::audit_enabled();
+    let mut stats = ReaderStats::default();
+    let mut rows: BTreeMap<u64, EpochRow> = BTreeMap::new();
+    let mut out = Vec::with_capacity(batch_size);
+    // Stagger starting offsets so readers exercise different query
+    // mixes against the same snapshots.
+    let mut cursor = (ri * batch_size) % rects.len();
+    readers_started.fetch_add(1, Ordering::AcqRel);
+    loop {
+        // Read the flag *before* loading: if the trainer finished
+        // first, this load already sees the final snapshot and the
+        // batch below drains it.
+        let finished = done.load(Ordering::Acquire);
+        let snap = cell.load();
+        let epoch = snap.epoch();
+        if audit {
+            obs::incr(obs::Counter::AuditChecks);
+            stats.audited += 1;
+            if let Err(e) = snap.check_invariants() {
+                panic!("STH_AUDIT: torn snapshot at epoch {epoch}: {e}");
+            }
+        }
+        let end = (cursor + batch_size).min(rects.len());
+        let batch = &rects[cursor..end];
+        cursor = end % rects.len();
+        // `estimate_batch` clears-then-fills `out` (and routes
+        // kernel-sized batches through the lane-oriented kernel).
+        let (kernel0, pruned0, _) = counter_marks();
+        let t0 = Instant::now();
+        snap.estimate_batch(batch, &mut out);
+        let elapsed_ns = t0.elapsed().as_nanos() as u64;
+        let (kernel1, pruned1, _) = counter_marks();
+        obs::record_hist(obs::HistKind::ServeBatchFill, out.len() as u64);
+        for (est, q) in out.iter().zip(batch) {
+            assert!(
+                est.is_finite() && *est >= 0.0,
+                "bad estimate {est} for {q} at epoch {epoch}"
+            );
+        }
+        stats.answered += out.len() as u64;
+        stats.batches += 1;
+        let row = rows.entry(epoch).or_insert_with(|| EpochRow { epoch, ..EpochRow::default() });
+        row.batches += 1;
+        row.answered += out.len() as u64;
+        row.batch_ns.record(elapsed_ns);
+        row.kernel_calls += kernel1 - kernel0;
+        row.lanes_pruned += pruned1 - pruned0;
+        if finished {
+            break;
+        }
+    }
+    stats.epochs = rows.keys().copied().collect();
+    (stats, obs::snapshot().delta(&obs_before), rows)
+}
+
+/// Merges trainer and reader outcomes into the shared [`ServeReport`].
+fn finish_report(
+    publishes: u64,
+    final_epoch: u64,
+    trainer_counters: obs::Snapshot,
+    trainer_rows: BTreeMap<u64, EpochRow>,
+    reader_outcomes: Vec<(ReaderStats, obs::Snapshot, BTreeMap<u64, EpochRow>)>,
+) -> ServeReport {
+    let mut counters = trainer_counters;
+    let mut epochs_observed = BTreeSet::new();
+    let mut readers = Vec::with_capacity(reader_outcomes.len());
+    let mut reader_maps = Vec::with_capacity(reader_outcomes.len());
+    for (stats, delta, rows) in reader_outcomes {
+        counters.merge(&delta);
+        epochs_observed.extend(stats.epochs.iter().copied());
+        readers.push(stats);
+        reader_maps.push(rows);
+    }
+    let timeline = EpochTimeline::assemble(final_epoch, reader_maps, trainer_rows);
+    ServeReport {
+        publishes,
+        final_epoch,
+        readers,
+        epochs_observed: epochs_observed.into_iter().collect(),
+        counters,
+        timeline,
     }
 }
 
@@ -122,8 +236,9 @@ pub fn serve_concurrent(
     let done = AtomicBool::new(false);
     let readers_started = AtomicU64::new(0);
 
-    let (trainer_outcome, reader_stats) = std::thread::scope(|s| {
+    let (trainer_outcome, reader_outcomes) = std::thread::scope(|s| {
         let trainer = s.spawn(|| {
+            let _flight = obs::flight::FlightDump::new("serve trainer");
             let obs_before = obs::snapshot();
             // Hold the epoch-1 snapshot until at least one reader has
             // pinned it, so every run provably serves across an epoch
@@ -155,72 +270,16 @@ pub fn serve_concurrent(
         });
 
         let ids: Vec<usize> = (0..cfg.readers).collect();
-        let stats = sth_platform::par::scope_map(&ids, |&ri| {
-            let obs_before = obs::snapshot();
-            let audit = obs::audit_enabled();
-            let mut stats = ReaderStats::default();
-            let mut epochs = BTreeSet::new();
-            let mut out = Vec::with_capacity(cfg.batch);
-            // Stagger starting offsets so readers exercise different query
-            // mixes against the same snapshots.
-            let mut cursor = (ri * cfg.batch) % rects.len();
-            readers_started.fetch_add(1, Ordering::AcqRel);
-            loop {
-                // Read the flag *before* loading: if the trainer finished
-                // first, this load already sees the final snapshot and the
-                // batch below drains it.
-                let finished = done.load(Ordering::Acquire);
-                let snap = cell.load();
-                epochs.insert(snap.epoch());
-                if audit {
-                    obs::incr(obs::Counter::AuditChecks);
-                    stats.audited += 1;
-                    if let Err(e) = snap.check_invariants() {
-                        panic!("STH_AUDIT: torn snapshot at epoch {}: {e}", snap.epoch());
-                    }
-                }
-                let end = (cursor + cfg.batch).min(rects.len());
-                let batch = &rects[cursor..end];
-                cursor = end % rects.len();
-                // `estimate_batch` clears-then-fills `out` (and routes
-                // kernel-sized batches through the lane-oriented kernel).
-                snap.estimate_batch(batch, &mut out);
-                for (est, q) in out.iter().zip(batch) {
-                    assert!(
-                        est.is_finite() && *est >= 0.0,
-                        "bad estimate {est} for {q} at epoch {}",
-                        snap.epoch()
-                    );
-                }
-                stats.answered += out.len() as u64;
-                stats.batches += 1;
-                if finished {
-                    break;
-                }
-            }
-            stats.epochs = epochs.into_iter().collect();
-            (stats, obs::snapshot().delta(&obs_before))
+        let outcomes = sth_platform::par::scope_map(&ids, |&ri| {
+            run_reader(ri, &rects, &cell, &done, &readers_started, cfg.batch)
         });
-        (trainer.join().expect("trainer thread panicked"), stats)
+        (trainer.join().expect("trainer thread panicked"), outcomes)
     });
 
     let (publishes, final_epoch, trainer_counters) = trainer_outcome;
-    let mut counters = trainer_counters;
-    let mut epochs_observed = BTreeSet::new();
-    let mut readers = Vec::with_capacity(reader_stats.len());
-    for (stats, delta) in reader_stats {
-        counters.merge(&delta);
-        epochs_observed.extend(stats.epochs.iter().copied());
-        readers.push(stats);
-    }
-    let report = ServeReport {
-        publishes,
-        final_epoch,
-        readers,
-        epochs_observed: epochs_observed.into_iter().collect(),
-        counters,
-    };
-    if obs::trace_enabled() {
+    let report =
+        finish_report(publishes, final_epoch, trainer_counters, BTreeMap::new(), reader_outcomes);
+    if obs::event_enabled() {
         obs::event(
             "serve",
             &[
@@ -230,6 +289,7 @@ pub fn serve_concurrent(
                 ("answered", obs::FieldValue::Int(report.answered())),
                 ("epochs_observed", obs::FieldValue::Int(report.epochs_observed.len() as u64)),
                 ("obs", obs::FieldValue::Raw(&report.counters.to_json())),
+                ("timeline", obs::FieldValue::Raw(&report.timeline.to_json())),
             ],
         );
     }
@@ -243,20 +303,13 @@ pub fn freeze_for_serving(hist: &StHoles) -> FrozenHistogram {
     hist.freeze()
 }
 
-/// Outcome of one [`serve_durable`] run.
+/// Outcome of one [`serve_durable`] run: the shared [`ServeReport`] core
+/// (publishes, readers, timeline — reachable directly through `Deref`)
+/// plus the durability facts only that path has.
 #[derive(Clone, Debug)]
 pub struct DurableServeReport {
-    /// Snapshots the trainer republished into the serving cell
-    /// (excluding the initial one).
-    pub publishes: u64,
-    /// Epoch of the last published serving snapshot.
-    pub final_epoch: u64,
-    /// Per-reader tallies, in reader order.
-    pub readers: Vec<ReaderStats>,
-    /// Distinct epochs served from, across all readers, ascending.
-    pub epochs_observed: Vec<u64>,
-    /// Counters and stats attributable to this run.
-    pub counters: obs::Snapshot,
+    /// The serve-loop outcome shared with [`serve_concurrent`].
+    pub serve: ServeReport,
     /// Durable delta sequence reached by the trainer.
     pub final_seq: u64,
     /// Store generations flushed during the run.
@@ -266,10 +319,11 @@ pub struct DurableServeReport {
     pub golden: u64,
 }
 
-impl DurableServeReport {
-    /// Total estimates answered across all readers.
-    pub fn answered(&self) -> u64 {
-        self.readers.iter().map(|r| r.answered).sum()
+impl std::ops::Deref for DurableServeReport {
+    type Target = ServeReport;
+
+    fn deref(&self) -> &ServeReport {
+        &self.serve
     }
 }
 
@@ -284,6 +338,8 @@ impl DurableServeReport {
 /// directory then holds a valid prefix of the run, and reopening the
 /// trainer via [`sth_store::DurableTrainer::open`] resumes from exactly
 /// the durable tail — the serve test exercises this kill/reopen path.
+/// The poisoning itself dumps the flight recorder when `STH_FLIGHT` is
+/// set, so the dying absorb leaves a pre-crash event trail.
 pub fn serve_durable(
     trainer: &mut sth_store::DurableTrainer,
     train: &Workload,
@@ -303,8 +359,9 @@ pub fn serve_durable(
     let done = AtomicBool::new(false);
     let readers_started = AtomicU64::new(0);
 
-    let (trainer_outcome, reader_stats) = std::thread::scope(|s| {
+    let (trainer_outcome, reader_outcomes) = std::thread::scope(|s| {
         let trainer_handle = s.spawn(|| {
+            let _flight = obs::flight::FlightDump::new("durable trainer");
             let obs_before = obs::snapshot();
             while readers_started.load(Ordering::Acquire) == 0 {
                 std::thread::yield_now();
@@ -312,11 +369,23 @@ pub fn serve_durable(
             let mut publishes = 0u64;
             let mut flushes = 0u64;
             let mut failure = None;
+            // Store activity is attributed to the epoch that was current
+            // when it happened; `cell.epoch()` tracks the last publish
+            // without taking a reader-visible load.
+            let mut cur_epoch = cell.epoch();
+            let mut rows: BTreeMap<u64, EpochRow> = BTreeMap::new();
             for (i, q) in train.queries().iter().enumerate() {
+                let (_, _, bytes0) = counter_marks();
                 match trainer.absorb(q.rect(), counter) {
                     Ok(report) => {
                         if report.flushed_gen.is_some() {
                             flushes += 1;
+                            let (_, _, bytes1) = counter_marks();
+                            let row = rows
+                                .entry(cur_epoch)
+                                .or_insert_with(|| EpochRow { epoch: cur_epoch, ..EpochRow::default() });
+                            row.flushes += 1;
+                            row.store_bytes_flushed += bytes1 - bytes0;
                         }
                     }
                     Err(e) => {
@@ -328,84 +397,41 @@ pub fn serve_durable(
                     }
                 }
                 if (i + 1) % cfg.republish_every == 0 {
-                    cell.publish(trainer.freeze());
+                    cur_epoch = cell.publish(trainer.freeze());
                     publishes += 1;
                 }
             }
             let final_epoch = cell.publish(trainer.freeze());
             publishes += 1;
             done.store(true, Ordering::Release);
-            (publishes, flushes, final_epoch, failure, obs::snapshot().delta(&obs_before))
+            (publishes, flushes, final_epoch, failure, rows, obs::snapshot().delta(&obs_before))
         });
 
         let ids: Vec<usize> = (0..cfg.readers).collect();
-        let stats = sth_platform::par::scope_map(&ids, |&ri| {
-            let obs_before = obs::snapshot();
-            let audit = obs::audit_enabled();
-            let mut stats = ReaderStats::default();
-            let mut epochs = BTreeSet::new();
-            let mut out = Vec::with_capacity(cfg.batch);
-            let mut cursor = (ri * cfg.batch) % rects.len();
-            readers_started.fetch_add(1, Ordering::AcqRel);
-            loop {
-                let finished = done.load(Ordering::Acquire);
-                let snap = cell.load();
-                epochs.insert(snap.epoch());
-                if audit {
-                    obs::incr(obs::Counter::AuditChecks);
-                    stats.audited += 1;
-                    if let Err(e) = snap.check_invariants() {
-                        panic!("STH_AUDIT: torn snapshot at epoch {}: {e}", snap.epoch());
-                    }
-                }
-                let end = (cursor + cfg.batch).min(rects.len());
-                let batch = &rects[cursor..end];
-                cursor = end % rects.len();
-                // `estimate_batch` clears-then-fills `out` (and routes
-                // kernel-sized batches through the lane-oriented kernel).
-                snap.estimate_batch(batch, &mut out);
-                for (est, q) in out.iter().zip(batch) {
-                    assert!(
-                        est.is_finite() && *est >= 0.0,
-                        "bad estimate {est} for {q} at epoch {}",
-                        snap.epoch()
-                    );
-                }
-                stats.answered += out.len() as u64;
-                stats.batches += 1;
-                if finished {
-                    break;
-                }
-            }
-            stats.epochs = epochs.into_iter().collect();
-            (stats, obs::snapshot().delta(&obs_before))
+        let outcomes = sth_platform::par::scope_map(&ids, |&ri| {
+            run_reader(ri, &rects, &cell, &done, &readers_started, cfg.batch)
         });
-        (trainer_handle.join().expect("trainer thread panicked"), stats)
+        (trainer_handle.join().expect("trainer thread panicked"), outcomes)
     });
 
-    let (publishes, flushes, final_epoch, failure, trainer_counters) = trainer_outcome;
+    let (publishes, flushes, final_epoch, failure, trainer_rows, trainer_counters) =
+        trainer_outcome;
     if let Some(e) = failure {
         return Err(e);
     }
-    let mut counters = trainer_counters;
-    let mut epochs_observed = BTreeSet::new();
-    let mut readers = Vec::with_capacity(reader_stats.len());
-    for (stats, delta) in reader_stats {
-        counters.merge(&delta);
-        epochs_observed.extend(stats.epochs.iter().copied());
-        readers.push(stats);
-    }
     let report = DurableServeReport {
-        publishes,
-        final_epoch,
-        readers,
-        epochs_observed: epochs_observed.into_iter().collect(),
-        counters,
+        serve: finish_report(
+            publishes,
+            final_epoch,
+            trainer_counters,
+            trainer_rows,
+            reader_outcomes,
+        ),
         final_seq: trainer.seq(),
         flushes,
         golden: trainer.golden_hash(),
     };
-    if obs::trace_enabled() {
+    if obs::event_enabled() {
         obs::event(
             "serve_durable",
             &[
@@ -415,6 +441,7 @@ pub fn serve_durable(
                 ("final_seq", obs::FieldValue::Int(report.final_seq)),
                 ("answered", obs::FieldValue::Int(report.answered())),
                 ("obs", obs::FieldValue::Raw(&report.counters.to_json())),
+                ("timeline", obs::FieldValue::Raw(&report.timeline.to_json())),
             ],
         );
     }
@@ -458,6 +485,32 @@ mod tests {
     }
 
     #[test]
+    fn serve_timeline_attributes_every_batch_to_an_epoch() {
+        let (mut hist, train, serve, index) = fixture();
+        let cfg = ServeConfig { readers: 3, batch: 16, republish_every: 10 };
+        let report = serve_concurrent(&mut hist, &train, &serve, &index, &cfg);
+        let tl = &report.timeline;
+        // Contiguous rows 1..=final_epoch, jointly accounting for every
+        // batch and every answered estimate.
+        assert_eq!(tl.rows.len() as u64, report.final_epoch);
+        for (i, row) in tl.rows.iter().enumerate() {
+            assert_eq!(row.epoch, i as u64 + 1);
+            assert_eq!(row.publishes, (row.epoch > 1) as u64);
+            assert_eq!(row.batches, row.batch_ns.count(), "one latency sample per batch");
+        }
+        assert_eq!(tl.batches(), report.batches());
+        assert_eq!(tl.rows.iter().map(|r| r.answered).sum::<u64>(), report.answered());
+        // Real time passed: the overall latency distribution is non-empty
+        // and ordered.
+        let all = tl.batch_ns_overall();
+        assert_eq!(all.count(), report.batches());
+        assert!(all.p50() <= all.p99() && all.p99() <= all.p999());
+        // Renderings agree on the row count.
+        assert_eq!(tl.render_table().lines().count(), tl.rows.len() + 1);
+        assert!(tl.to_json().contains("\"epoch\": 1"));
+    }
+
+    #[test]
     fn audited_serve_checks_every_loaded_snapshot() {
         obs::force_audit(true);
         obs::force_metrics(true);
@@ -470,6 +523,16 @@ mod tests {
         // traffic from the readers.
         assert_eq!(report.counters.get(obs::Counter::SnapshotPublishes), report.publishes);
         assert_eq!(report.counters.get(obs::Counter::SnapshotLoads), report.batches());
+        // With metrics on, the serve-path histograms populate: one batch
+        // fill sample and one kernel-level latency sample per batch (the
+        // 8-query batches here ride the scalar path, so only kernel-sized
+        // ones would add lane samples).
+        assert_eq!(report.counters.hist(obs::HistKind::ServeBatchFill).count(), report.batches());
+        assert_eq!(
+            report.counters.hist(obs::HistKind::BatchEstimateNs).count(),
+            report.batches()
+        );
+        assert!(report.counters.hist(obs::HistKind::RefineNs).count() > 0);
         obs::force_audit(false);
         obs::force_metrics(false);
     }
@@ -504,6 +567,8 @@ mod tests {
         assert_eq!(report.final_seq, train.len() as u64);
         assert!(report.flushes >= 1, "expected snapshot flushes, got {}", report.flushes);
         assert!(report.epochs_observed.len() >= 2);
+        // Per-epoch flush attribution sums back to the run totals.
+        assert_eq!(report.timeline.rows.iter().map(|r| r.flushes).sum::<u64>(), report.flushes);
         // The durable write path absorbs exactly what the volatile loop
         // refines on: same feedback, same state, bit for bit.
         assert_eq!(report.golden, golden_volatile);
@@ -542,7 +607,10 @@ mod tests {
             .expect("reference serve_durable");
         let total_cost = ref_vfs.consumed();
 
-        // Crash-kill: same run, half the write budget.
+        // Crash-kill: same run, half the write budget. With the flight
+        // recorder forced on, the poisoning must leave a black-box dump
+        // whose final entries are the absorbs leading into the crash.
+        obs::flight::force(true);
         let (hist, ..) = fixture();
         let mem = Arc::new(MemVfs::new());
         let vfs = Arc::new(FaultVfs::new(mem.clone(), total_cost / 2));
@@ -551,6 +619,14 @@ mod tests {
                 .expect("create");
         let died = serve_durable(&mut trainer, &train, &serve, &index, &cfg);
         assert!(died.is_err(), "half the write budget must kill the trainer");
+        let dump = obs::flight::last_dump().expect("poisoning must dump the flight recorder");
+        assert!(dump.contains("store poisoned"), "dump reason names the poisoning:\n{dump}");
+        assert!(dump.contains("\"ev\": \"absorb\""), "dump carries pre-crash absorbs:\n{dump}");
+        assert!(
+            dump.contains("\"ev\": \"store_poisoned\""),
+            "dump ends with the poisoning event itself:\n{dump}"
+        );
+        obs::flight::force(false);
         drop(trainer);
 
         // Reopen on the torn disk and finish the training workload from

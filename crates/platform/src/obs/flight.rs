@@ -1,0 +1,216 @@
+//! The flight recorder: a fixed-capacity per-thread ring of the most
+//! recent structured events, dumped as a black-box trace when something
+//! dies.
+//!
+//! `STH_TRACE` streams every event to a sink — great for debugging, far
+//! too heavy to leave on in a serving process. The flight recorder is the
+//! complement: with `STH_FLIGHT` set, every [`super::event`] line is
+//! *also* (or instead) pushed into a thread-local ring buffer holding the
+//! last N events. Nothing is ever written unless a dump triggers — a
+//! panic unwinding past a [`FlightDump`] guard, a store poisoning, or an
+//! `STH_AUDIT` failure — at which point the ring is formatted and written
+//! to stderr (and to the `STH_FLIGHT=<path>` file when one is
+//! configured), so a crash in a serve loop leaves a readable trace of the
+//! final pre-crash events instead of nothing.
+//!
+//! ## Gating
+//!
+//! * unset / `STH_FLIGHT=0` — off (the default; recording costs one
+//!   relaxed load + branch).
+//! * `STH_FLIGHT=1` — on, default capacity, dumps to stderr.
+//! * `STH_FLIGHT=<N>` — on with ring capacity N.
+//! * `STH_FLIGHT=<path>` — on, dumps appended to `<path>` as well.
+//!
+//! Tests opt in with [`force`] (mirrors [`super::force_metrics`]) and
+//! read the most recent dump back via [`last_dump`].
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Ring capacity when `STH_FLIGHT` does not specify one.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+// Tri-state force override, same protocol as `obs::force_metrics`:
+// 0 = follow the environment, 1 = forced off, 2 = forced on.
+static FORCE_FLIGHT: AtomicU8 = AtomicU8::new(0);
+
+struct FlightCfg {
+    enabled: bool,
+    capacity: usize,
+    path: Option<String>,
+}
+
+fn cfg() -> &'static FlightCfg {
+    static CFG: OnceLock<FlightCfg> = OnceLock::new();
+    CFG.get_or_init(|| match std::env::var("STH_FLIGHT") {
+        Err(_) => FlightCfg { enabled: false, capacity: DEFAULT_CAPACITY, path: None },
+        Ok(v) if v.is_empty() || v == "0" => {
+            FlightCfg { enabled: false, capacity: DEFAULT_CAPACITY, path: None }
+        }
+        Ok(v) if v == "1" => FlightCfg { enabled: true, capacity: DEFAULT_CAPACITY, path: None },
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) => FlightCfg { enabled: true, capacity: n.max(1), path: None },
+            Err(_) => FlightCfg { enabled: true, capacity: DEFAULT_CAPACITY, path: Some(v) },
+        },
+    })
+}
+
+/// `true` when the flight recorder is capturing events (`STH_FLIGHT` set
+/// or a [`force`] override).
+#[inline]
+pub fn active() -> bool {
+    match FORCE_FLIGHT.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => cfg().enabled,
+    }
+}
+
+/// Overrides the `STH_FLIGHT` gate for this process (tests/examples).
+pub fn force(on: bool) {
+    FORCE_FLIGHT.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+thread_local! {
+    static RING: RefCell<VecDeque<String>> = const { RefCell::new(VecDeque::new()) };
+}
+
+/// Pushes one already-formatted event line into this thread's ring.
+/// Called by [`super::event`] for every emitted event while the recorder
+/// is active.
+pub(super) fn push_line(line: &str) {
+    let cap = cfg().capacity;
+    RING.with(|r| {
+        let mut ring = r.borrow_mut();
+        if ring.len() >= cap {
+            ring.pop_front();
+        }
+        ring.push_back(line.to_string());
+    });
+}
+
+/// This thread's captured events, oldest first.
+pub fn lines() -> Vec<String> {
+    RING.with(|r| r.borrow().iter().cloned().collect())
+}
+
+/// Discards this thread's captured events (test isolation).
+pub fn clear() {
+    RING.with(|r| r.borrow_mut().clear());
+}
+
+fn last_dump_slot() -> &'static Mutex<Option<String>> {
+    static LAST: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    LAST.get_or_init(|| Mutex::new(None))
+}
+
+/// The most recent dump produced by any thread of this process, verbatim.
+/// Tests assert crash behavior through this instead of scraping stderr.
+pub fn last_dump() -> Option<String> {
+    last_dump_slot().lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Dumps this thread's ring as a black-box trace: writes it to stderr
+/// (and the configured `STH_FLIGHT` file), remembers it for
+/// [`last_dump`], and returns it. `None` when the recorder is off.
+pub fn dump(reason: &str) -> Option<String> {
+    if !active() {
+        return None;
+    }
+    let lines = lines();
+    let mut text = String::with_capacity(64 + lines.iter().map(|l| l.len() + 1).sum::<usize>());
+    text.push_str(&format!(
+        "=== flight recorder dump ({} events): {reason} ===\n",
+        lines.len()
+    ));
+    for line in &lines {
+        text.push_str(line);
+        text.push('\n');
+    }
+    text.push_str("=== end of flight recorder dump ===\n");
+    let _ = std::io::stderr().lock().write_all(text.as_bytes());
+    if let Some(path) = cfg().path.as_ref() {
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = f.write_all(text.as_bytes());
+        }
+    }
+    *last_dump_slot().lock().unwrap_or_else(|e| e.into_inner()) = Some(text.clone());
+    Some(text)
+}
+
+/// RAII guard that dumps the flight recorder if the current thread
+/// unwinds past it — the "black box survives the crash" hook. Put one at
+/// the top of any loop whose panic should leave a trace:
+///
+/// ```ignore
+/// let _flight = obs::flight::FlightDump::new("serve trainer");
+/// ```
+#[must_use = "the guard dumps on panic only while it is alive"]
+pub struct FlightDump {
+    label: &'static str,
+}
+
+impl FlightDump {
+    /// Arms a dump-on-panic guard labelled `label`.
+    pub fn new(label: &'static str) -> Self {
+        Self { label }
+    }
+}
+
+impl Drop for FlightDump {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            dump(&format!("panic in {}", self.label));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::FieldValue;
+    use super::*;
+
+    // One test drives the whole lifecycle: the force flag is
+    // process-global and tests run concurrently, so splitting it up
+    // would race (same discipline as the counter gate test).
+    #[test]
+    fn ring_captures_dumps_and_gates() {
+        force(false);
+        clear();
+        super::super::event("flight_off", &[]);
+        assert!(lines().is_empty(), "gated-off recorder must not capture");
+        assert!(dump("gated off").is_none());
+
+        force(true);
+        clear();
+        for i in 0..4u64 {
+            super::super::event("flight_test", &[("i", FieldValue::Int(i))]);
+        }
+        let lines = lines();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"ev\": \"flight_test\""));
+        let text = dump("unit test").expect("active recorder dumps");
+        assert!(text.contains("unit test"));
+        assert!(text.contains("\"i\": 3"), "dump carries the final events");
+        assert_eq!(last_dump().as_deref(), Some(text.as_str()));
+
+        // A panicking scope with a guard leaves a dump behind.
+        clear();
+        super::super::event("pre_crash", &[("seq", FieldValue::Int(42))]);
+        let result = std::panic::catch_unwind(|| {
+            let _guard = FlightDump::new("unit-test scope");
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        let dumped = last_dump().expect("panic dump recorded");
+        assert!(dumped.contains("panic in unit-test scope"));
+        assert!(dumped.contains("pre_crash"));
+        assert!(dumped.contains("\"seq\": 42"));
+
+        clear();
+        force(false);
+    }
+}

@@ -1,41 +1,55 @@
-//! Observability: counters, value-distribution stats, span timers, and a
-//! structured JSON event log — all on `std` alone, per the hermetic-build
-//! policy.
+//! Observability: counters, value-distribution stats, latency histograms,
+//! span timers, a structured JSON event log, and a crash flight recorder —
+//! all on `std` alone, per the hermetic-build policy.
 //!
 //! The simulation pipeline is one giant feedback loop (~20k queries per
 //! run); a silent bug in it corrupts every NAE number the experiments
 //! report. This module is the standing detector: the hot paths of
-//! `sth-sthole`, `sth-index`, `sth-mineclus` and `sth-eval` increment
-//! process-wide named counters and the eval runner snapshots them per run.
+//! `sth-sthole`, `sth-index`, `sth-mineclus`, `sth-store` and `sth-eval`
+//! increment process-wide named counters and the eval runner snapshots
+//! them per run. The serving tier additionally records *distributions* —
+//! mergeable log-linear value histograms ([`hist`]) for tail-latency
+//! reporting — and keeps a per-thread ring of recent events ([`flight`])
+//! that is dumped as a black-box trace when a serve loop dies.
 //!
 //! ## Cost model
 //!
-//! Everything is disabled by default. [`add`]/[`record`] start with one
-//! relaxed atomic load and a branch; the counters themselves are
-//! thread-local `Cell`s (no contention, no RMW). Thread-locality is also
-//! what makes per-run deltas *exact*: each `sth-eval` sweep job runs
-//! entirely on one worker thread, so a before/after [`snapshot`] delta
-//! contains exactly that run's events, and the sweep merges the per-job
-//! snapshots in job order — deterministic regardless of worker count.
+//! Everything is disabled by default. [`add`]/[`record`]/[`record_hist`]
+//! start with one relaxed atomic load and a branch; the counters
+//! themselves are thread-local `Cell`s (no contention, no RMW). Histogram
+//! recording is one index computation plus a thread-local array bump.
+//! Thread-locality is also what makes per-run deltas *exact*: each
+//! `sth-eval` sweep job runs entirely on one worker thread, so a
+//! before/after [`snapshot`] delta contains exactly that run's events,
+//! and the sweep merges the per-job snapshots in job order —
+//! deterministic regardless of worker count.
 //!
 //! ## Runtime gating
 //!
-//! * `STH_METRICS=1` — enable counters and stats.
+//! * `STH_METRICS=1` — enable counters, stats and histograms.
 //! * `STH_TRACE=1` — JSON-lines event log to stderr (implies metrics).
 //! * `STH_TRACE=<path>` — event log appended to `<path>` instead.
 //! * `STH_AUDIT=1` — `sth-eval` runs `check_invariants()` after every
 //!   refinement (see `evaluate_self_tuning`); not consulted here beyond
 //!   [`audit_enabled`].
+//! * `STH_FLIGHT=1|<N>|<path>` — flight recorder ring (see [`flight`]).
 //!
-//! Tests use [`force_metrics`]/[`force_audit`] to opt in without touching
-//! the environment of the whole test process.
+//! Tests use [`force_metrics`]/[`force_audit`]/[`flight::force`] to opt
+//! in without touching the environment of the whole test process.
 
-use std::cell::Cell;
+pub mod flight;
+pub mod hist;
+
+use std::cell::{Cell, RefCell};
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
+
+pub use hist::{HistKind, ValueHist};
+
+use hist::N_HISTS;
 
 /// The workspace-wide counter catalogue. One variant per hot-path event;
 /// the JSON name is [`Counter::name`].
@@ -91,11 +105,14 @@ pub enum Counter {
     /// Candidate (query × child) lane expansions the batch kernel skipped —
     /// hull-gated lanes plus zero-overlap children that never spawned.
     BatchLanesPruned,
+    /// Bytes written by snapshot-generation flushes (snapshot file +
+    /// manifest), the store side of the serve timeline.
+    StoreBytesFlushed,
 }
 
 impl Counter {
     /// Every counter, in JSON/report order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 23] = [
         Counter::Queries,
         Counter::IndexProbes,
         Counter::ResultRows,
@@ -118,6 +135,7 @@ impl Counter {
         Counter::StoreSnapshotFlushes,
         Counter::BatchKernelCalls,
         Counter::BatchLanesPruned,
+        Counter::StoreBytesFlushed,
     ];
 
     /// Stable snake_case name used in event-log JSON.
@@ -145,6 +163,7 @@ impl Counter {
             Counter::StoreSnapshotFlushes => "store_snapshot_flushes",
             Counter::BatchKernelCalls => "batch_kernel_calls",
             Counter::BatchLanesPruned => "batch_lanes_pruned",
+            Counter::StoreBytesFlushed => "store_bytes_flushed",
         }
     }
 }
@@ -228,6 +247,10 @@ thread_local! {
     static COUNTERS: [Cell<u64>; N_COUNTERS] = const { [const { Cell::new(0) }; N_COUNTERS] };
     static STATS: [Cell<StatAgg>; N_STATS] =
         [const { Cell::new(StatAgg { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }) }; N_STATS];
+    // Dense per-kind bucket arrays, allocated lazily on first recording.
+    // Dense keeps `record_hist` a single indexed bump; `snapshot` converts
+    // to the sparse mergeable form.
+    static HISTS: [RefCell<Vec<u64>>; N_HISTS] = const { [const { RefCell::new(Vec::new()) }; N_HISTS] };
 }
 
 // Tri-state force overrides: 0 = follow the environment, 1 = forced off,
@@ -336,6 +359,53 @@ pub fn record(s: StatKind, v: f64) {
     }
 }
 
+/// Records one value into a log-linear value histogram on the current
+/// thread. One relaxed load + branch when disabled; one bucket-index
+/// computation plus an array bump when enabled.
+#[inline]
+pub fn record_hist(k: HistKind, v: u64) {
+    if metrics_enabled() {
+        HISTS.with(|hs| {
+            let mut dense = hs[k as usize].borrow_mut();
+            if dense.is_empty() {
+                dense.resize(hist::N_BUCKETS, 0);
+            }
+            dense[hist::bucket_index(v)] += 1;
+        });
+    }
+}
+
+/// Reads one counter's current value on this thread. Cheap enough to
+/// bracket a single operation (the serve timeline reads kernel counters
+/// around every batch).
+#[inline]
+pub fn read(c: Counter) -> u64 {
+    COUNTERS.with(|cs| cs[c as usize].get())
+}
+
+/// RAII latency timer: records the guarded scope's wall-clock nanoseconds
+/// into a value histogram on drop. Construction is free when metrics are
+/// disabled.
+#[must_use = "a histogram timer measures the scope it is bound to"]
+pub struct HistTimer {
+    active: Option<(HistKind, Instant)>,
+}
+
+/// Opens a latency scope recording into histogram `k` when it drops.
+#[inline]
+pub fn time_hist(k: HistKind) -> HistTimer {
+    let active = metrics_enabled().then(|| (k, Instant::now()));
+    HistTimer { active }
+}
+
+impl Drop for HistTimer {
+    fn drop(&mut self) {
+        if let Some((k, start)) = self.active.take() {
+            record_hist(k, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
 /// A point-in-time copy of this thread's counters and stats. Deltas of two
 /// snapshots bracket a unit of single-threaded work exactly; snapshots
 /// from different workers [`Snapshot::merge`] associatively.
@@ -343,9 +413,10 @@ pub fn record(s: StatKind, v: f64) {
 pub struct Snapshot {
     counters: [u64; N_COUNTERS],
     stats: [StatAgg; N_STATS],
+    hists: [ValueHist; N_HISTS],
 }
 
-/// Captures the current thread's counters and stats.
+/// Captures the current thread's counters, stats and histograms.
 pub fn snapshot() -> Snapshot {
     let mut s = Snapshot::default();
     COUNTERS.with(|cs| {
@@ -356,6 +427,16 @@ pub fn snapshot() -> Snapshot {
     STATS.with(|ss| {
         for (out, cell) in s.stats.iter_mut().zip(ss.iter()) {
             *out = cell.get();
+        }
+    });
+    HISTS.with(|hs| {
+        for (out, cell) in s.hists.iter_mut().zip(hs.iter()) {
+            let dense = cell.borrow();
+            for (i, &c) in dense.iter().enumerate() {
+                if c > 0 {
+                    out.record_n(hist::bucket_high(i), c);
+                }
+            }
         }
     });
     s
@@ -372,9 +453,15 @@ impl Snapshot {
         self.stats[s as usize]
     }
 
+    /// One value histogram.
+    pub fn hist(&self, k: HistKind) -> &ValueHist {
+        &self.hists[k as usize]
+    }
+
     /// Events since `earlier` (a snapshot taken before this one on the same
-    /// thread). Counters subtract; stat min/max cannot be un-merged, so the
-    /// delta keeps this snapshot's bounds when any values were recorded.
+    /// thread). Counters and histogram buckets subtract exactly; stat
+    /// min/max cannot be un-merged, so the delta keeps this snapshot's
+    /// bounds when any values were recorded.
     pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
         let mut d = Snapshot::default();
         for i in 0..N_COUNTERS {
@@ -391,6 +478,9 @@ impl Snapshot {
                 };
             }
         }
+        for i in 0..N_HISTS {
+            d.hists[i] = self.hists[i].delta(&earlier.hists[i]);
+        }
         d
     }
 
@@ -403,17 +493,23 @@ impl Snapshot {
         for i in 0..N_STATS {
             self.stats[i].absorb(&other.stats[i]);
         }
+        for i in 0..N_HISTS {
+            self.hists[i].merge(&other.hists[i]);
+        }
     }
 
     /// `true` when nothing was counted or recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.iter().all(|&c| c == 0) && self.stats.iter().all(|s| s.count == 0)
+        self.counters.iter().all(|&c| c == 0)
+            && self.stats.iter().all(|s| s.count == 0)
+            && self.hists.iter().all(|h| h.is_empty())
     }
 
     /// Renders the snapshot as one JSON object:
-    /// `{"counters": {...}, "stats": {...}}`. All counters appear (zeros
-    /// included) so consumers can rely on the full catalogue; stats appear
-    /// only when they recorded at least one value.
+    /// `{"counters": {...}, "stats": {...}, "hists": {...}}`. All counters
+    /// appear (zeros included) so consumers can rely on the full
+    /// catalogue; stats and histograms appear only when they recorded at
+    /// least one value.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\"counters\": {");
         for (i, c) in Counter::ALL.iter().enumerate() {
@@ -442,6 +538,19 @@ impl Snapshot {
                 agg.min,
                 agg.max
             );
+        }
+        s.push_str("}, \"hists\": {");
+        let mut first = true;
+        for k in HistKind::ALL {
+            let h = self.hist(k);
+            if h.is_empty() {
+                continue;
+            }
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            let _ = write!(s, "\"{}\": {}", k.name(), h.to_json());
         }
         s.push_str("}}");
         s
@@ -533,20 +642,38 @@ fn sink() -> Option<&'static Mutex<SinkOut>> {
     .as_ref()
 }
 
-/// Emits one structured event to the `STH_TRACE` sink as a JSON line:
+/// `true` when [`event`] has any consumer: the `STH_TRACE` sink or the
+/// flight recorder. Call sites with non-trivial field construction (e.g.
+/// a [`Snapshot::to_json`]) gate on this instead of [`trace_enabled`] so
+/// flight-only runs still capture their events.
+#[inline]
+pub fn event_enabled() -> bool {
+    trace_enabled() || flight::active()
+}
+
+/// Emits one structured event as a JSON line:
 /// `{"ev": "<kind>", "t_us": <µs since process start>, ...fields}`.
-/// No-op (one relaxed load + branch) when tracing is off.
+/// The line goes to the `STH_TRACE` sink when tracing is on and into the
+/// [`flight`] ring when the recorder is active (independently gated).
+/// No-op (two relaxed loads + branches) when both are off.
 pub fn event(kind: &str, fields: &[(&str, FieldValue)]) {
-    if !trace_enabled() {
+    let to_flight = flight::active();
+    let to_trace = trace_enabled();
+    if !to_flight && !to_trace {
         return;
     }
-    let Some(sink) = sink() else { return };
     let line = format_event(kind, fields);
-    let mut out = sink.lock().unwrap_or_else(|e| e.into_inner());
-    let _ = match &mut *out {
-        SinkOut::Stderr => writeln!(std::io::stderr().lock(), "{line}"),
-        SinkOut::File(f) => writeln!(f, "{line}"),
-    };
+    if to_flight {
+        flight::push_line(&line);
+    }
+    if to_trace {
+        let Some(sink) = sink() else { return };
+        let mut out = sink.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = match &mut *out {
+            SinkOut::Stderr => writeln!(std::io::stderr().lock(), "{line}"),
+            SinkOut::File(f) => writeln!(f, "{line}"),
+        };
+    }
 }
 
 /// RAII span timer: emits a `span` event with the elapsed time on drop.
@@ -557,9 +684,10 @@ pub struct Span {
 }
 
 /// Opens a span named `name`; the returned guard emits
-/// `{"ev": "span", "name": ..., "elapsed_us": ...}` when dropped.
+/// `{"ev": "span", "name": ..., "elapsed_us": ...}` when dropped (to the
+/// trace sink and/or the flight ring, whichever is active).
 pub fn span(name: &'static str) -> Span {
-    let active = trace_enabled().then(|| (name, Instant::now()));
+    let active = event_enabled().then(|| (name, Instant::now()));
     Span { active }
 }
 
@@ -612,9 +740,19 @@ pub fn field_num(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// [`field_num`] truncated to an integer counter value.
+/// Finds `"key": <integer>` and parses it exactly — counters are u64 and
+/// must not round-trip through f64 (values above 2^53 would round).
+/// Falls back to [`field_num`] truncation when the field was written as a
+/// float.
 pub fn field_u64(line: &str, key: &str) -> Option<u64> {
-    field_num(line, key).map(|v| v as u64)
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    match rest[..end].parse() {
+        Ok(v) => Some(v),
+        Err(_) => field_num(line, key).map(|v| v as u64),
+    }
 }
 
 #[cfg(test)]
@@ -708,7 +846,31 @@ mod tests {
     #[test]
     fn spans_are_free_when_disabled() {
         let s = span("noop");
-        assert!(s.active.is_none() || trace_enabled());
+        assert!(s.active.is_none() || event_enabled());
         drop(s);
+    }
+
+    #[test]
+    fn snapshot_carries_hists_through_delta_and_merge() {
+        // Built directly (no thread-local recording) so this test does not
+        // touch the process-global force flags the gate test owns.
+        let mut before = Snapshot::default();
+        before.hists[HistKind::RefineNs as usize].record(500);
+        let mut now = before.clone();
+        now.hists[HistKind::RefineNs as usize].record(1_000);
+        now.hists[HistKind::RefineNs as usize].record(2_000);
+        now.hists[HistKind::ServeBatchFill as usize].record(32);
+        let d = now.delta(&before);
+        let h = d.hist(HistKind::RefineNs);
+        assert_eq!(h.count(), 2);
+        assert!(h.p50() >= 1_000 && h.max() >= 2_000);
+        assert_eq!(d.hist(HistKind::ServeBatchFill).count(), 1);
+        assert!(!d.is_empty());
+        let mut rebuilt = before.clone();
+        rebuilt.merge(&d);
+        assert_eq!(rebuilt, now, "delta∘merge round-trips");
+        let json = d.to_json();
+        assert!(json.contains("\"refine_ns\": {\"count\": 2"));
+        assert!(!json.contains("store_append_ns"), "empty hists omitted");
     }
 }

@@ -1,0 +1,166 @@
+//! Property tests for the observability layer's two serialization
+//! contracts:
+//!
+//! * every line [`obs::format_event`] emits parses back through
+//!   [`obs::field_str`] / [`obs::field_num`] / [`obs::field_u64`] to the
+//!   original values, even when string fields contain quotes,
+//!   backslashes, control characters, or text that *looks like* another
+//!   field's `"key": "` pattern (the escaper must prevent spoofing);
+//! * [`obs::Snapshot`] provenance algebra — `merge` is commutative and
+//!   associative, `delta ∘ merge` round-trips, and a histogram built
+//!   from a whole value stream equals the merge of its splits.
+//!
+//! Stat values are integer-valued floats throughout so f64 addition is
+//! exact and the algebraic identities hold bit-for-bit; counter and
+//! histogram arithmetic is integer-exact by construction.
+
+use sth_platform::check::prelude::*;
+use sth_platform::obs::{self, Counter, FieldValue, HistKind, Snapshot, StatKind, ValueHist};
+
+/// Character palette for adversarial strings: escaper-relevant characters
+/// (quote, backslash, controls), JSON syntax, `\uXXXX`-lookalike pieces,
+/// and multi-byte code points.
+const PALETTE: [char; 24] = [
+    '"', '\\', '\n', '\t', '\r', '\u{0}', '\u{1}', '\u{1f}', '\u{7f}', 'u', '0', '4', 'a', 'z',
+    ':', ' ', ',', '{', '}', '.', '-', 'é', '界', '𝄞',
+];
+
+fn adversarial_string() -> impl Strategy<Value = String> {
+    collection::vec(0usize..PALETTE.len(), 0..24)
+        .prop_map(|idx| idx.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+/// Records a batch of activity on this thread and returns it as an exact
+/// [`Snapshot`] delta. Bracketing with [`obs::snapshot`] isolates each
+/// batch from whatever earlier cases left in the thread-locals.
+fn recorded(counters: &[u64], stats: &[u32], hists: &[u64]) -> Snapshot {
+    obs::force_metrics(true);
+    let base = obs::snapshot();
+    for (i, &n) in counters.iter().enumerate() {
+        obs::add(Counter::ALL[i % Counter::ALL.len()], n);
+    }
+    for (i, &v) in stats.iter().enumerate() {
+        obs::record(StatKind::ALL[i % StatKind::ALL.len()], v as f64);
+    }
+    for (i, &v) in hists.iter().enumerate() {
+        obs::record_hist(HistKind::ALL[i % HistKind::ALL.len()], v);
+    }
+    obs::snapshot().delta(&base)
+}
+
+fn merged(a: &Snapshot, b: &Snapshot) -> Snapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+check! {
+    cases = 96;
+
+    fn event_fields_round_trip(
+        s1 in adversarial_string(),
+        s2 in adversarial_string(),
+        n in 0u64..u64::MAX,
+        x in -1_000_000i64..1_000_000,
+    ) {
+        // s1 may contain text resembling the other fields' key patterns;
+        // the escaped quotes must keep the scanner from matching inside it.
+        let spoof = format!("{s1}\"b\": \"spoofed\", \"n\": 0, ");
+        let line = obs::format_event(
+            "kind",
+            &[
+                ("a", FieldValue::Str(&spoof)),
+                ("b", FieldValue::Str(&s2)),
+                ("n", FieldValue::Int(n)),
+                ("x", FieldValue::Num(x as f64)),
+            ],
+        );
+        let ev = obs::field_str(&line, "ev");
+        prop_assert_eq!(ev.as_deref(), Some("kind"));
+        prop_assert_eq!(obs::field_str(&line, "a"), Some(spoof));
+        prop_assert_eq!(obs::field_str(&line, "b"), Some(s2));
+        prop_assert_eq!(obs::field_u64(&line, "n"), Some(n));
+        prop_assert_eq!(obs::field_num(&line, "x"), Some(x as f64));
+        prop_assert!(obs::field_num(&line, "t_us").is_some());
+    }
+
+    fn snapshot_merge_commutes_and_associates(
+        ca in collection::vec(0u64..1_000, 0..8),
+        cb in collection::vec(0u64..1_000, 0..8),
+        cc in collection::vec(0u64..1_000, 0..8),
+        sa in collection::vec(0u32..10_000, 0..8),
+        sb in collection::vec(0u32..10_000, 0..8),
+        hv in collection::vec(0u64..u64::MAX, 0..12),
+    ) {
+        let a = recorded(&ca, &sa, &hv);
+        let b = recorded(&cb, &sb, &hv[..hv.len() / 2]);
+        let c = recorded(&cc, &[], &hv[hv.len() / 2..]);
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a), "merge must commute");
+        prop_assert_eq!(
+            merged(&merged(&a, &b), &c),
+            merged(&a, &merged(&b, &c)),
+            "merge must associate"
+        );
+    }
+
+    fn snapshot_delta_merge_round_trips(
+        c1 in collection::vec(0u64..1_000, 0..8),
+        c2 in collection::vec(0u64..1_000, 0..8),
+        s1 in collection::vec(0u32..10_000, 0..8),
+        s2 in collection::vec(0u32..10_000, 0..8),
+        h1 in collection::vec(0u64..u64::MAX, 0..12),
+        h2 in collection::vec(0u64..u64::MAX, 0..12),
+    ) {
+        // Two consecutive recording rounds on one thread: the delta over
+        // the second round, merged onto the first-round snapshot, must
+        // reproduce the combined snapshot exactly.
+        obs::force_metrics(true);
+        let base = obs::snapshot();
+        let early = recorded(&c1, &s1, &h1);
+        let mid = obs::snapshot().delta(&base);
+        prop_assert_eq!(&early, &mid, "bracketing is exact");
+        let late = recorded(&c2, &s2, &h2);
+        let all = obs::snapshot().delta(&base);
+        prop_assert_eq!(merged(&early, &late), all, "delta∘merge must round-trip");
+    }
+
+    fn hist_merge_of_splits_is_whole(
+        vals in collection::vec(0u64..u64::MAX, 0..64),
+        cut in 0usize..64,
+    ) {
+        let cut = cut.min(vals.len());
+        let whole = ValueHist::from_values(vals.iter().copied());
+        let mut left = ValueHist::from_values(vals[..cut].iter().copied());
+        let right = ValueHist::from_values(vals[cut..].iter().copied());
+        left.merge(&right);
+        prop_assert_eq!(&left, &whole, "merge of splits must equal the whole");
+        prop_assert_eq!(whole.count(), vals.len() as u64);
+        if !whole.is_empty() {
+            prop_assert!(whole.p50() <= whole.p99());
+            prop_assert!(whole.p99() <= whole.p999());
+            prop_assert!(whole.p999() <= whole.max());
+            let lo = *vals.iter().min().unwrap();
+            let hi = *vals.iter().max().unwrap();
+            prop_assert!(whole.min() >= lo, "bucket bound below the smallest value");
+            prop_assert!(whole.max() >= hi && whole.min() <= whole.max());
+            // Log-linear bound: the reported max overshoots by < 1/2^SUB_BITS.
+            prop_assert!(whole.max() - hi <= (hi >> sth_platform::obs::hist::SUB_BITS).max(1));
+        }
+    }
+
+    fn hist_delta_inverts_merge(
+        base_vals in collection::vec(0u64..1_000_000, 0..32),
+        extra_vals in collection::vec(0u64..1_000_000, 0..32),
+    ) {
+        let earlier = ValueHist::from_values(base_vals.iter().copied());
+        let mut later = earlier.clone();
+        for &v in &extra_vals {
+            later.record(v);
+        }
+        let d = later.delta(&earlier);
+        prop_assert_eq!(d.count(), extra_vals.len() as u64);
+        let mut rebuilt = earlier.clone();
+        rebuilt.merge(&d);
+        prop_assert_eq!(rebuilt, later, "delta must invert merge");
+    }
+}

@@ -472,6 +472,7 @@ impl Estimator for FrozenHistogram {
     /// loop with one shared traversal scratch, whose per-query results the
     /// kernel is proven bit-identical to.
     fn estimate_batch(&self, queries: &[Rect], out: &mut Vec<f64>) {
+        let _t = obs::time_hist(obs::HistKind::BatchEstimateNs);
         if queries.len() >= KERNEL_MIN_BATCH {
             self.estimate_batch_kernel(queries, out);
         } else {

@@ -2,6 +2,7 @@
 
 use sth_geometry::Rect;
 use sth_index::RangeCounter;
+use sth_platform::obs;
 use sth_query::{CardinalityEstimator, Estimator, SelfTuning};
 
 use crate::{Bucket, BucketArena, BucketId};
@@ -377,6 +378,7 @@ impl SelfTuning for StHoles {
         if self.frozen {
             return;
         }
+        let _t = obs::time_hist(obs::HistKind::RefineNs);
         self.drill_for_query(query, feedback);
         self.compact();
     }

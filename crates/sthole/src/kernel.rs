@@ -487,6 +487,7 @@ impl FrozenHistogram {
             if lanes == 0 {
                 continue;
             }
+            obs::record_hist(obs::HistKind::KernelNodeLanes, lanes as u64);
             let cs = self.child_start[i] as usize;
             let ce = self.child_end[i] as usize;
             if cs == ce {

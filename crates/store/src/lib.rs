@@ -230,6 +230,7 @@ impl Store {
         Self::check_cfg(&cfg);
         let dir = dir.into();
         let _span = obs::span("store.open");
+        let _t = obs::time_hist(obs::HistKind::StoreRecoverNs);
         let manifest_bytes = vfs
             .read(&dir.join("MANIFEST"))
             .map_err(|e| StoreError::Corrupt(format!("unreadable MANIFEST: {e}")))?;
@@ -334,7 +335,7 @@ impl Store {
             tails,
             resealed,
         };
-        if obs::trace_enabled() {
+        if obs::event_enabled() {
             obs::event(
                 "store_open",
                 &[
@@ -394,12 +395,13 @@ impl Store {
         if self.poisoned {
             return Err(StoreError::Poisoned);
         }
+        let _t = obs::time_hist(obs::HistKind::StoreAppendNs);
         let rec = DeltaRecord::from_feedback(self.seq + 1, query, result, truth);
         self.frame.clear();
         rec.encode_into(&mut self.frame);
         let seg = self.path(&seg_name(self.manifest.newest().gen));
         if let Err(e) = self.vfs.append(&seg, &self.frame) {
-            self.poisoned = true;
+            self.poison("delta append");
             return Err(e.into());
         }
         self.seq += 1;
@@ -430,11 +432,12 @@ impl Store {
     /// Snapshot + manifest + GC, the generation rotation shared by
     /// create/flush/reseal.
     fn rotate(&mut self, hist: &StHoles) -> Result<u64, StoreError> {
+        let _t = obs::time_hist(obs::HistKind::StoreFlushNs);
         let gen = self.manifest.next_gen;
         let bytes = snapshot::encode(hist, gen, self.seq);
         let snap = self.path(&snap_name(gen));
         if let Err(e) = self.vfs.write_atomic(&snap, &bytes) {
-            self.poisoned = true;
+            self.poison("snapshot write");
             return Err(e.into());
         }
         let mut generations = self.manifest.generations.clone();
@@ -449,8 +452,9 @@ impl Store {
             dropped.extend(generations.drain(..generations.len() - self.cfg.retain_generations));
         }
         let next = Manifest { next_gen: gen + 1, generations };
-        if let Err(e) = self.vfs.write_atomic(&self.path("MANIFEST"), &next.to_bytes()) {
-            self.poisoned = true;
+        let manifest_bytes = next.to_bytes();
+        if let Err(e) = self.vfs.write_atomic(&self.path("MANIFEST"), &manifest_bytes) {
+            self.poison("manifest publish");
             return Err(e.into());
         }
         // The manifest is published: the new generation is durable.
@@ -459,11 +463,12 @@ impl Store {
         self.pending_deltas = 0;
         self.pending_bytes = 0;
         obs::incr(obs::Counter::StoreSnapshotFlushes);
+        obs::add(obs::Counter::StoreBytesFlushed, (bytes.len() + manifest_bytes.len()) as u64);
         for old in dropped {
             if self.vfs.remove(&self.path(&snap_name(old.gen))).is_err()
                 || self.vfs.remove(&self.path(&seg_name(old.gen))).is_err()
             {
-                self.poisoned = true;
+                self.poison("generation gc");
                 return Err(StoreError::Io(std::io::Error::other("gc failed")));
             }
         }
@@ -514,5 +519,24 @@ impl Store {
     /// `true` once a write failure has disabled this handle.
     pub fn poisoned(&self) -> bool {
         self.poisoned
+    }
+
+    /// Disables the handle after a failed write and leaves a post-mortem
+    /// trail: a `store_poisoned` event (trace sink and/or flight ring)
+    /// followed by a flight-recorder dump, so the black box captures the
+    /// poisoning itself as its final event.
+    fn poison(&mut self, what: &str) {
+        self.poisoned = true;
+        if obs::event_enabled() {
+            obs::event(
+                "store_poisoned",
+                &[
+                    ("what", obs::FieldValue::Str(what)),
+                    ("seq", obs::FieldValue::Int(self.seq)),
+                    ("gen", obs::FieldValue::Int(self.manifest.newest().gen)),
+                ],
+            );
+        }
+        obs::flight::dump(&format!("store poisoned: {what}"));
     }
 }

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use sth_geometry::Rect;
 use sth_histogram::{FrozenHistogram, StHoles};
 use sth_index::{RangeCounter, ResultSetCounter};
+use sth_platform::obs;
 use sth_query::SelfTuning;
 
 use crate::vfs::Vfs;
@@ -81,6 +82,17 @@ impl DurableTrainer {
             // reproduces this refine exactly.
             counter.count(query) as f64
         };
+        // Emitted before the append so a write failure's flight-recorder
+        // dump shows the absorb that died, not just the ones before it.
+        if obs::event_enabled() {
+            obs::event(
+                "absorb",
+                &[
+                    ("seq", obs::FieldValue::Int(self.store.seq() + 1)),
+                    ("truth", obs::FieldValue::Num(truth)),
+                ],
+            );
+        }
         let seq = self.store.append_delta(query, &self.result, truth)?;
         self.hist.refine_with_truth(query, &self.result, truth);
         let flushed_gen =

@@ -13,7 +13,7 @@ cd "$(dirname "$0")/.."
 # The gate measures the *disabled* cost of the observability layer: with
 # these unset, every obs hook must be a relaxed load + branch (DESIGN.md
 # "Observability"). Tracing to a file would make the numbers meaningless.
-unset STH_TRACE STH_METRICS STH_AUDIT
+unset STH_TRACE STH_METRICS STH_AUDIT STH_FLIGHT
 
 max_regression_pct="${1:-30}"
 baseline="BENCH_core_ops.json"

@@ -38,6 +38,16 @@ echo "verify: serving example OK"
 STH_AUDIT=1 cargo run -q --release --offline --example durability > /dev/null
 echo "verify: durability example OK"
 
+# Telemetry acceptance: serve a concurrent workload with metrics and the
+# flight recorder forced on, print the per-epoch timeline (publishes,
+# batches, latency quantiles, kernel counters, store flush bytes), and
+# fault-inject a durable run so the store poisoning dumps the flight
+# recorder. The example asserts non-degenerate p50/p99/p999, one latency
+# sample per batch, and that the dump carries the pre-crash absorb trail.
+STH_METRICS=1 STH_FLIGHT=1 \
+    cargo run -q --release --offline --example telemetry > /dev/null
+echo "verify: telemetry example OK"
+
 # Opt-in perf stage (not tier-1): smoke-run the core_ops benches and fail
 # on large median regressions against the committed baseline.
 if [[ "${STH_VERIFY_BENCH:-0}" == "1" ]]; then
