@@ -16,19 +16,52 @@ pub struct EquiWidthGrid {
     counts: Vec<u32>,
 }
 
+/// A grid configuration whose cell count would exceed
+/// [`EquiWidthGrid::MAX_CELLS`] — the curse of dimensionality, reported
+/// instead of suffered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GridTooLarge {
+    /// Requested cells per dimension.
+    pub cells_per_dim: usize,
+    /// Dataset dimensionality.
+    pub ndim: usize,
+}
+
+impl std::fmt::Display for GridTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "equi-width grid {}^{} exceeds {} cells; reduce cells_per_dim",
+            self.cells_per_dim,
+            self.ndim,
+            EquiWidthGrid::MAX_CELLS
+        )
+    }
+}
+
+impl std::error::Error for GridTooLarge {}
+
 impl EquiWidthGrid {
     /// Maximum total cells accepted by [`EquiWidthGrid::build`].
     pub const MAX_CELLS: usize = 1 << 24;
 
     /// Builds the grid over a dataset. Panics if `cells_per_dim^d` exceeds
-    /// [`Self::MAX_CELLS`].
+    /// [`Self::MAX_CELLS`]; sweeps over caller-supplied configurations
+    /// should prefer [`Self::try_build`] so one oversized grid can't kill
+    /// the whole run.
     pub fn build(data: &Dataset, cells_per_dim: usize) -> Self {
+        Self::try_build(data, cells_per_dim).expect("grid too large; reduce cells_per_dim")
+    }
+
+    /// Builds the grid over a dataset, or reports [`GridTooLarge`] when
+    /// `cells_per_dim^d` exceeds [`Self::MAX_CELLS`].
+    pub fn try_build(data: &Dataset, cells_per_dim: usize) -> Result<Self, GridTooLarge> {
         assert!(cells_per_dim >= 1);
         let dim = data.ndim();
         let total_cells = cells_per_dim
             .checked_pow(dim as u32)
             .filter(|&c| c <= Self::MAX_CELLS)
-            .expect("grid too large; reduce cells_per_dim");
+            .ok_or(GridTooLarge { cells_per_dim, ndim: dim })?;
         let domain = data.domain().clone();
         let mut counts = vec![0u32; total_cells];
         for i in 0..data.len() {
@@ -40,7 +73,7 @@ impl EquiWidthGrid {
             }
             counts[idx] += 1;
         }
-        Self { domain, cells_per_dim, counts }
+        Ok(Self { domain, cells_per_dim, counts })
     }
 
     /// Number of grid cells.
@@ -168,6 +201,17 @@ mod tests {
         let err_g = (g.estimate(&q) - truth).abs();
         let err_t = (t.estimate(&q) - truth).abs();
         assert!(err_g < err_t, "grid {err_g} not better than trivial {err_t}");
+    }
+
+    #[test]
+    fn oversized_grids_are_an_error_not_a_panic() {
+        let ds = CrossSpec::cross4d().scaled(0.01).generate();
+        // 4096^4 cells blows MAX_CELLS by far.
+        let err = EquiWidthGrid::try_build(&ds, 4096).unwrap_err();
+        assert_eq!(err, GridTooLarge { cells_per_dim: 4096, ndim: 4 });
+        assert!(err.to_string().contains("4096^4"));
+        // A fitting configuration on the same data still builds.
+        assert!(EquiWidthGrid::try_build(&ds, 8).is_ok());
     }
 
     #[test]

@@ -24,5 +24,5 @@ mod trivial;
 
 pub use avi::AviHistogram;
 pub use equidepth::EquiDepthHistogram;
-pub use equiwidth::EquiWidthGrid;
+pub use equiwidth::{EquiWidthGrid, GridTooLarge};
 pub use trivial::TrivialHistogram;

@@ -139,6 +139,55 @@ fn bench_serve_concurrent(c: &mut Bench) {
     g.finish();
 }
 
+fn bench_registry_route(c: &mut Bench) {
+    // Multi-tenant routing overhead and sharded-publication cost. The
+    // routed mixed batch is compared against answering the same number of
+    // probes from one pinned tenant view (what routing costs on top of
+    // estimation); the publish rows contrast a clean differential publish
+    // — every shard recognized bit-identical and skipped — with a forced
+    // full refreeze of every shard cell.
+    use sth_eval::{Registry, TenantKey};
+    let tenants = 4usize;
+    let mut reg = Registry::new();
+    let mut hists = Vec::with_capacity(tenants);
+    let mut probes = Vec::new();
+    for t in 0..tenants {
+        let (h, p) = trained_histogram(50);
+        reg.register(TenantKey::new(format!("t{t}"), vec![0, 1]), &h);
+        hists.push(h);
+        probes = p;
+    }
+    let mixed: Vec<(usize, Rect)> =
+        (0..64).map(|j| (j % tenants, probes[j % probes.len()].clone())).collect();
+    let single: Vec<Rect> = mixed.iter().map(|(_, q)| q.clone()).collect();
+
+    let mut g = c.benchmark_group("registry_route");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function(format!("routed64_tenants_{tenants}"), |b| {
+        let mut out = Vec::with_capacity(mixed.len());
+        b.iter(|| {
+            reg.estimate_batch_routed(&mixed, &mut out);
+            black_box(out.len())
+        });
+    });
+    g.bench_function("direct64_single_tenant", |b| {
+        let view = reg.load(0);
+        let mut out = Vec::with_capacity(single.len());
+        b.iter(|| {
+            view.estimate_batch(&single, &mut out);
+            black_box(out.len())
+        });
+    });
+    g.bench_function("publish_differential_clean", |b| {
+        b.iter(|| black_box(reg.publish_with(0, &hists[0], true).shard_skips));
+    });
+    g.bench_function("publish_full_refreeze", |b| {
+        b.iter(|| black_box(reg.publish_with(0, &hists[0], false).shard_publishes));
+    });
+    g.finish();
+}
+
 fn bench_store_ops(c: &mut Bench) {
     // Durability costs on an in-memory VFS (no disk noise): the per-query
     // write-ahead append, a full snapshot generation, and the recovery
@@ -361,6 +410,7 @@ fn main() {
     bench_estimate_frozen(&mut c);
     bench_batch_kernel(&mut c);
     bench_serve_concurrent(&mut c);
+    bench_registry_route(&mut c);
     bench_store_ops(&mut c);
     bench_refine(&mut c);
     bench_refine_steady(&mut c);

@@ -109,13 +109,18 @@ pub fn ablation_quality(ctx: &ExperimentCtx) -> Table {
 
     // 5. Static baselines for context.
     {
-        let grid = sth_baselines::EquiWidthGrid::build(&prep.data, 4);
-        let mae = evaluate_static(&grid, &sim, &*prep.index);
-        t.push_row(vec![
-            "baseline".into(),
-            format!("equi-width 4^{}", prep.data.ndim()),
-            f3(normalized_absolute_error(mae, trivial_mae)),
-        ]);
+        // A mis-sized grid degrades to a note instead of killing the sweep.
+        match sth_baselines::EquiWidthGrid::try_build(&prep.data, 4) {
+            Ok(grid) => {
+                let mae = evaluate_static(&grid, &sim, &*prep.index);
+                t.push_row(vec![
+                    "baseline".into(),
+                    format!("equi-width 4^{}", prep.data.ndim()),
+                    f3(normalized_absolute_error(mae, trivial_mae)),
+                ]);
+            }
+            Err(e) => t.note(format!("equi-width baseline skipped: {e}")),
+        }
         let ed = sth_baselines::EquiDepthHistogram::build(&prep.data, buckets);
         let mae = evaluate_static(&ed, &sim, &*prep.index);
         t.push_row(vec![

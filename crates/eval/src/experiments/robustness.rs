@@ -176,7 +176,15 @@ pub fn sensitivity_to_permutation(ctx: &ExperimentCtx) -> Table {
         }
         let max = naes.iter().cloned().fold(f64::MIN, f64::max);
         let min = naes.iter().cloned().fold(f64::MAX, f64::min);
-        t.note(format!("{}: delta = {} (max {} - min {})", variant.label(), f3(max - min), f3(max), f3(min)));
+        let mean = crate::average_nae(&naes).expect("permutation sweep is non-empty");
+        t.note(format!(
+            "{}: delta = {} (max {} - min {}, mean {})",
+            variant.label(),
+            f3(max - min),
+            f3(max),
+            f3(min),
+            f3(mean)
+        ));
     }
     t.note(format!("{buckets} buckets, learning frozen during the evaluation phase"));
     t

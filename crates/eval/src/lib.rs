@@ -14,13 +14,20 @@
 
 pub mod experiments;
 mod metrics;
+mod registry;
 mod runner;
 mod serve;
 mod spec;
 mod table;
 mod timeline;
 
-pub use metrics::{evaluate_self_tuning, evaluate_static, normalized_absolute_error};
+pub use metrics::{
+    average_nae, evaluate_self_tuning, evaluate_static, normalized_absolute_error, EmptyWorkload,
+};
+pub use registry::{
+    route_batch, serve_registry, PublishOutcome, Registry, RegistryServeConfig,
+    RegistryServeReport, TenantId, TenantKey, TenantRuntime, TenantServeReport, TenantView,
+};
 pub use runner::{run_simulation, sweep, RunConfig, RunOutcome, RunProvenance, Variant};
 pub use serve::{
     freeze_for_serving, serve_concurrent, serve_durable, DurableServeReport, ReaderStats,

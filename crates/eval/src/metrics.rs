@@ -113,6 +113,38 @@ impl RangeCounter for QueryTruthMemo<'_> {
     }
 }
 
+/// The error aggregate was asked to average zero runs/queries.
+///
+/// Averaging helpers used to divide by the input length unconditionally,
+/// so an empty workload (a tenant with no queries, a sweep where every
+/// run was filtered out) produced `NaN` — which then silently poisoned
+/// every downstream aggregate it was folded into. The explicit error
+/// makes the caller decide: skip the row, substitute a documented value,
+/// or fail loudly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EmptyWorkload;
+
+impl std::fmt::Display for EmptyWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot average an error metric over an empty workload")
+    }
+}
+
+impl std::error::Error for EmptyWorkload {}
+
+/// Mean of per-run NAE values — the sweep-level aggregate the robustness
+/// experiments report. Errors on an empty slice instead of returning the
+/// `NaN` a bare `sum / len` would produce (see [`EmptyWorkload`]).
+/// Non-finite *inputs* are passed through arithmetic untouched: an ∞ from
+/// [`normalized_absolute_error`]'s perfect-H0 branch is a legitimate
+/// "infinitely worse" verdict, not poison.
+pub fn average_nae(naes: &[f64]) -> Result<f64, EmptyWorkload> {
+    if naes.is_empty() {
+        return Err(EmptyWorkload);
+    }
+    Ok(naes.iter().sum::<f64>() / naes.len() as f64)
+}
+
 /// Normalized Absolute Error (Eq. 10): the estimator's MAE divided by the
 /// MAE of the trivial single-bucket histogram `H0` on the same workload.
 /// Values < 1 beat "assume everything is uniform"; the paper plots this.
@@ -240,6 +272,18 @@ mod tests {
         assert_eq!(normalized_absolute_error(5.0, 10.0), 0.5);
         assert_eq!(normalized_absolute_error(0.0, 0.0), 0.0);
         assert!(normalized_absolute_error(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn average_nae_rejects_empty_input_instead_of_nan() {
+        // Regression: `sum / len` over zero runs is NaN, and one NaN folded
+        // into a sweep aggregate poisons every comparison after it.
+        assert_eq!(average_nae(&[]), Err(EmptyWorkload));
+        assert!(!EmptyWorkload.to_string().is_empty());
+        assert_eq!(average_nae(&[0.5]), Ok(0.5));
+        assert_eq!(average_nae(&[1.0, 2.0, 3.0]), Ok(2.0));
+        // Legitimate infinities pass through; they are verdicts, not poison.
+        assert_eq!(average_nae(&[1.0, f64::INFINITY]), Ok(f64::INFINITY));
     }
 
     #[test]

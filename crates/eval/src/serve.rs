@@ -92,6 +92,12 @@ pub struct ServeReport {
     /// Per-epoch serving activity (batches, latency quantiles, kernel
     /// and store counters), epochs 1 through `final_epoch`.
     pub timeline: EpochTimeline,
+    /// Set when the trainer thread panicked mid-run: the panic message.
+    /// The report is then *partial* — reader outcomes and the timeline
+    /// cover everything served up to the last successful publish, but
+    /// trainer-side counters are missing and `final_epoch` reflects the
+    /// last publish before the panic, not a completed training pass.
+    pub failure: Option<String>,
 }
 
 impl ServeReport {
@@ -206,6 +212,33 @@ fn finish_report(
         epochs_observed: epochs_observed.into_iter().collect(),
         counters,
         timeline,
+        failure: None,
+    }
+}
+
+/// Raises the serve loop's done flag when dropped. The trainer holds one
+/// across its whole closure so that a *panic* also releases the readers:
+/// without it, a trainer that died before `done.store(true)` would leave
+/// every reader polling the last snapshot forever — and the panic would
+/// discard their outcomes with them. Redundant (and harmless) on the
+/// normal exit path, which has already stored the flag.
+struct DoneOnDrop<'a>(&'a AtomicBool);
+
+impl Drop for DoneOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
+
+/// Renders a `JoinHandle::join` panic payload as a message. Panics carry
+/// `&str` or `String` payloads in practice; anything else gets a marker.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast_ref::<&'static str>() {
+        Some(s) => (*s).to_string(),
+        None => match payload.downcast_ref::<String>() {
+            Some(s) => s.clone(),
+            None => "trainer panicked with a non-string payload".to_string(),
+        },
     }
 }
 
@@ -239,6 +272,7 @@ pub fn serve_concurrent(
     let (trainer_outcome, reader_outcomes) = std::thread::scope(|s| {
         let trainer = s.spawn(|| {
             let _flight = obs::flight::FlightDump::new("serve trainer");
+            let _done_guard = DoneOnDrop(&done);
             let obs_before = obs::snapshot();
             // Hold the epoch-1 snapshot until at least one reader has
             // pinned it, so every run provably serves across an epoch
@@ -273,12 +307,22 @@ pub fn serve_concurrent(
         let outcomes = sth_platform::par::scope_map(&ids, |&ri| {
             run_reader(ri, &rects, &cell, &done, &readers_started, cfg.batch)
         });
-        (trainer.join().expect("trainer thread panicked"), outcomes)
+        (trainer.join(), outcomes)
     });
 
-    let (publishes, final_epoch, trainer_counters) = trainer_outcome;
-    let report =
+    // A trainer panic must not discard what the readers did: the done
+    // guard released them, their outcomes are in hand, and the cell still
+    // knows the last successful publish. (With `STH_FLIGHT` set, the
+    // trainer's `FlightDump` guard already dumped the pre-panic ring.)
+    let (publishes, final_epoch, trainer_counters, failure) = match trainer_outcome {
+        Ok((publishes, final_epoch, counters)) => (publishes, final_epoch, counters, None),
+        Err(payload) => {
+            (cell.epoch() - 1, cell.epoch(), obs::Snapshot::default(), Some(panic_message(payload)))
+        }
+    };
+    let mut report =
         finish_report(publishes, final_epoch, trainer_counters, BTreeMap::new(), reader_outcomes);
+    report.failure = failure;
     if obs::event_enabled() {
         obs::event(
             "serve",
@@ -362,6 +406,7 @@ pub fn serve_durable(
     let (trainer_outcome, reader_outcomes) = std::thread::scope(|s| {
         let trainer_handle = s.spawn(|| {
             let _flight = obs::flight::FlightDump::new("durable trainer");
+            let _done_guard = DoneOnDrop(&done);
             let obs_before = obs::snapshot();
             while readers_started.load(Ordering::Acquire) == 0 {
                 std::thread::yield_now();
@@ -411,22 +456,35 @@ pub fn serve_durable(
         let outcomes = sth_platform::par::scope_map(&ids, |&ri| {
             run_reader(ri, &rects, &cell, &done, &readers_started, cfg.batch)
         });
-        (trainer_handle.join().expect("trainer thread panicked"), outcomes)
+        (trainer_handle.join(), outcomes)
     });
 
-    let (publishes, flushes, final_epoch, failure, trainer_rows, trainer_counters) =
-        trainer_outcome;
-    if let Some(e) = failure {
+    // Same partial-report policy as `serve_concurrent`: a trainer panic
+    // surfaces as a failure marker on an otherwise usable report. Store
+    // errors stay `Err` — they mean the durable state needs attention.
+    let (publishes, flushes, final_epoch, store_failure, trainer_rows, trainer_counters, panic) =
+        match trainer_outcome {
+            Ok((publishes, flushes, final_epoch, failure, rows, counters)) => {
+                (publishes, flushes, final_epoch, failure, rows, counters, None)
+            }
+            Err(payload) => (
+                cell.epoch() - 1,
+                0,
+                cell.epoch(),
+                None,
+                BTreeMap::new(),
+                obs::Snapshot::default(),
+                Some(panic_message(payload)),
+            ),
+        };
+    if let Some(e) = store_failure {
         return Err(e);
     }
+    let mut serve_report =
+        finish_report(publishes, final_epoch, trainer_counters, trainer_rows, reader_outcomes);
+    serve_report.failure = panic;
     let report = DurableServeReport {
-        serve: finish_report(
-            publishes,
-            final_epoch,
-            trainer_counters,
-            trainer_rows,
-            reader_outcomes,
-        ),
+        serve: serve_report,
         final_seq: trainer.seq(),
         flushes,
         golden: trainer.golden_hash(),
@@ -535,6 +593,49 @@ mod tests {
         assert!(report.counters.hist(obs::HistKind::RefineNs).count() > 0);
         obs::force_audit(false);
         obs::force_metrics(false);
+    }
+
+    /// Forwards to a real index but panics partway through the run —
+    /// and advertises no `collect_rows` support, so the trainer's
+    /// fallback path calls `count` on every refine.
+    struct PanickyCounter<'a> {
+        inner: &'a KdCountTree,
+        remaining: std::sync::atomic::AtomicU64,
+    }
+
+    impl RangeCounter for PanickyCounter<'_> {
+        fn count(&self, rect: &Rect) -> u64 {
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 0 {
+                panic!("injected counter failure");
+            }
+            self.inner.count(rect)
+        }
+
+        fn total(&self) -> u64 {
+            self.inner.total()
+        }
+    }
+
+    #[test]
+    fn trainer_panic_yields_partial_report_with_failure_marker() {
+        obs::flight::force(true);
+        let (mut hist, train, serve, index) = fixture();
+        let counter = PanickyCounter { inner: &index, remaining: AtomicU64::new(25) };
+        let cfg = ServeConfig { readers: 2, batch: 8, republish_every: 5 };
+        let report = serve_concurrent(&mut hist, &train, &serve, &counter, &cfg);
+        let failure = report.failure.as_deref().expect("trainer panic must be captured");
+        assert!(failure.contains("injected counter failure"), "got {failure:?}");
+        // The partial report stays internally consistent: final_epoch is
+        // the last successful publish, publishes excludes the initial
+        // epoch-1 snapshot, and the readers drained instead of hanging.
+        assert_eq!(report.publishes, report.final_epoch - 1);
+        assert!(report.final_epoch >= 1);
+        assert!(report.answered() >= 1, "readers must have been released and drained");
+        assert_eq!(report.timeline.rows.len() as u64, report.final_epoch);
+        // The trainer's flight guard dumped the pre-panic ring.
+        let dump = obs::flight::last_dump().expect("panic must dump the flight recorder");
+        assert!(dump.contains("serve trainer"), "dump names the trainer guard:\n{dump}");
+        obs::flight::force(false);
     }
 
     #[test]

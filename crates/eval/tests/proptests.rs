@@ -1,13 +1,42 @@
-//! Property-based tests for the simulation harness: across randomized run
-//! parameters, learning during simulation is no worse on average (over the
-//! fixed [`sth_eval::FREEZE_SEED_LADDER`]) than freezing the histogram after
-//! training. This is the property behind the deterministic
-//! `freeze_after_training_stops_learning` unit test; randomizing the bucket
-//! budget and workload length guards the margin against parameter luck.
+//! Property-based tests for the simulation harness and the multi-tenant
+//! registry.
+//!
+//! * Across randomized run parameters, learning during simulation is no
+//!   worse on average (over the fixed [`sth_eval::FREEZE_SEED_LADDER`])
+//!   than freezing the histogram after training. This is the property
+//!   behind the deterministic `freeze_after_training_stops_learning` unit
+//!   test; randomizing the bucket budget and workload length guards the
+//!   margin against parameter luck.
+//! * Registry routing is invisible: a mixed-tenant batch split by
+//!   [`sth_eval::route_batch`] and answered shard-composed is
+//!   bit-identical to asking each tenant's pinned view directly.
+//! * Per-shard, per-tenant and composite epochs stay monotone under
+//!   concurrent republication from racing publisher threads.
 
 use sth_platform::check::prelude::*;
 
-use sth_eval::{run_simulation, DatasetSpec, ExperimentCtx, RunConfig, Variant, FREEZE_SEED_LADDER};
+use sth_eval::{
+    run_simulation, DatasetSpec, ExperimentCtx, Registry, RunConfig, TenantKey, Variant,
+    FREEZE_SEED_LADDER,
+};
+use sth_geometry::Rect;
+use sth_histogram::StHoles;
+use sth_index::KdCountTree;
+use sth_query::{SelfTuning, WorkloadSpec};
+
+/// A tenant trained with `queries` refines of its own seeded workload,
+/// plus the remaining workload rects for serving/further refinement.
+fn trained_tenant(seed: u64, queries: usize) -> (StHoles, KdCountTree, Vec<Rect>) {
+    let data = sth_data::cross::CrossSpec::cross2d().scaled(0.04).generate();
+    let index = KdCountTree::build(&data);
+    let wl = WorkloadSpec::paper(0.01, seed).generate(data.domain(), None);
+    let mut hist = sth_core::build_uninitialized(&data, 48);
+    for q in wl.queries().iter().take(queries) {
+        hist.refine(q.rect(), &index);
+    }
+    let rest = wl.queries().iter().skip(queries).map(|q| q.rect().clone()).collect();
+    (hist, index, rest)
+}
 
 fn tiny_ctx() -> ExperimentCtx {
     ExperimentCtx {
@@ -55,5 +84,114 @@ check! {
             live_sum / n,
             frozen_sum / n
         );
+    }
+
+    #[test]
+    fn routed_mixed_batches_are_bit_identical_to_direct_views(
+        train_a in 5usize..25,
+        train_b in 5usize..25,
+        train_c in 5usize..25,
+        stride in 1usize..5,
+    ) {
+        // Three tenants at different training depths, one interleaved
+        // mixed batch: routing must neither reorder nor perturb a single
+        // bit of any tenant's answers.
+        let mut reg = Registry::new();
+        let mut serves = Vec::new();
+        for (t, (seed, queries)) in
+            [(3u64, train_a), (17, train_b), (29, train_c)].into_iter().enumerate()
+        {
+            let (hist, _, rest) = trained_tenant(seed, queries);
+            let id = reg.register(TenantKey::new("t", vec![t as u32]), &hist);
+            prop_assert_eq!(id, t);
+            serves.push(rest);
+        }
+        let mut batch: Vec<(usize, Rect)> = Vec::new();
+        for j in 0..30 {
+            let id = (j * stride) % serves.len();
+            batch.push((id, serves[id][j % serves[id].len()].clone()));
+        }
+        let mut routed = Vec::new();
+        reg.estimate_batch_routed(&batch, &mut routed);
+        prop_assert_eq!(routed.len(), batch.len());
+        for (j, (id, q)) in batch.iter().enumerate() {
+            let direct = reg.load(*id).estimate(q);
+            prop_assert_eq!(
+                routed[j].to_bits(),
+                direct.to_bits(),
+                "query {} of tenant {} diverged: routed {} vs direct {}",
+                j, id, routed[j], direct
+            );
+        }
+    }
+
+    #[test]
+    fn epochs_stay_monotone_under_concurrent_republish(
+        publishers in 2usize..4,
+        rounds in 2usize..4,
+    ) {
+        // Racing publisher threads on two shared tenants: every epoch
+        // axis (per-shard, per-tenant assembly, registry composite) must
+        // be non-decreasing within each thread's serialized view, and
+        // the final counts must account for every publish exactly.
+        let mut reg = Registry::new();
+        for t in 0..2u64 {
+            let (hist, ..) = trained_tenant(41 + t, 8);
+            reg.register(TenantKey::new("race", vec![t as u32]), &hist);
+        }
+        // Each publisher owns its own tenant replica at a distinct
+        // training depth; all race their publishes into the shared
+        // registry (ids alternate, so both tenants see contention).
+        let pubs: Vec<_> = (0..publishers)
+            .map(|p| {
+                let id = p % 2;
+                let (hist, index, rest) = trained_tenant(41 + id as u64, 8 + p);
+                (id, hist, index, rest)
+            })
+            .collect();
+        let reg = &reg;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = pubs
+                .into_iter()
+                .enumerate()
+                .map(|(p, (id, mut hist, index, rest))| {
+                    s.spawn(move || {
+                        let index = &index;
+                        let mut last_tenant = 0u64;
+                        let mut last_composite = 0u64;
+                        let mut last_shards: Vec<u64> = Vec::new();
+                        for r in 0..rounds {
+                            hist.refine(&rest[(p + r * publishers) % rest.len()], index);
+                            let out = reg.publish(id, &hist);
+                            assert!(
+                                out.tenant_epoch > last_tenant,
+                                "tenant epoch regressed: {} after {last_tenant}",
+                                out.tenant_epoch
+                            );
+                            assert!(
+                                out.composite_epoch > last_composite,
+                                "composite epoch regressed"
+                            );
+                            for (k, &e) in out.shard_epochs.iter().enumerate() {
+                                if let Some(&prev) = last_shards.get(k) {
+                                    assert!(e >= prev, "shard {k} epoch regressed: {e} < {prev}");
+                                }
+                            }
+                            last_tenant = out.tenant_epoch;
+                            last_composite = out.composite_epoch;
+                            last_shards = out.shard_epochs;
+                        }
+                        rounds as u64
+                    })
+                })
+                .collect();
+            let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            // Every publish bumped exactly one tenant assembly epoch and
+            // one composite tick; nothing was lost to the races.
+            let per_tenant: u64 =
+                (0..2).map(|id| reg.tenant_epoch(id) - 1).sum();
+            assert_eq!(per_tenant, total, "publishes lost or double-counted");
+            assert_eq!(reg.composite_epoch(), 1 + total);
+        });
     }
 }

@@ -139,14 +139,15 @@ impl ValueHist {
     }
 
     /// Value at quantile `q` in `(0, 1]`: the upper bound of the bucket
-    /// containing the `ceil(q * count)`-th smallest recording. 0 when
-    /// empty.
+    /// containing the rank-`q·count` smallest recording (rank rounded
+    /// half-up and clamped to `[1, count]`, computed exactly — see
+    /// [`quantile_rank`]). 0 when empty.
     pub fn quantile(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
             return 0;
         }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let rank = quantile_rank(q, total);
         let mut seen = 0;
         for &(i, c) in &self.buckets {
             seen += c;
@@ -258,6 +259,36 @@ impl ValueHist {
     }
 }
 
+/// The 1-based rank a quantile query walks to: `q * total` rounded
+/// half-up and clamped to `[1, total]`, computed exactly in integer
+/// arithmetic. The obvious `(q * total as f64).ceil()` breaks once
+/// `total` exceeds 2^53: the product rounds *before* `ceil` sees it, so
+/// a merged long-horizon histogram can land a full bucket early.
+/// Decomposing `q` into its mantissa and exponent keeps every
+/// intermediate exact for all `u64` totals.
+fn quantile_rank(q: f64, total: u64) -> u64 {
+    if !(q > 0.0) {
+        return 1; // also absorbs NaN, like the old clamp did
+    }
+    if q >= 1.0 {
+        return total;
+    }
+    // q = m * 2^e exactly, with e < 0 since 0 < q < 1.
+    let bits = q.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i64;
+    let frac = bits & ((1u64 << 52) - 1);
+    let (m, e) = if exp == 0 { (frac, -1074) } else { (frac | (1u64 << 52), exp - 1075) };
+    let shift = (-e) as u32; // >= 53 for normal q < 1
+    let prod = m as u128 * total as u128; // < 2^117, exact
+    let rank = if shift >= 128 {
+        // q * total < 2^-11 here: rounds to 0, clamped up below.
+        0
+    } else {
+        (prod + (1u128 << (shift - 1))) >> shift
+    };
+    rank.clamp(1, total as u128) as u64
+}
+
 /// The workspace-wide value-histogram catalogue: one variant per
 /// distribution the serving stack tracks. The JSON name is
 /// [`HistKind::name`].
@@ -357,6 +388,38 @@ mod tests {
         assert_eq!(h.max(), 10);
         assert_eq!(h.min(), 1);
         assert_eq!(ValueHist::new().p50(), 0);
+    }
+
+    #[test]
+    fn quantile_rank_is_exact_beyond_f64_precision() {
+        // Two buckets holding 2^62 and 2^62+1 recordings: the true
+        // median rank is 2^62 + 1, which lands in the *second* bucket.
+        // The old float path computed `0.5 * total as f64`, where
+        // `total = 2^63 + 1` rounds to 2^63 — rank 2^62, first bucket.
+        let mut h = ValueHist::new();
+        h.record_n(1, 1u64 << 62);
+        h.record_n(1_000, (1u64 << 62) + 1);
+        let total = (1u64 << 63) + 1;
+        assert_eq!(h.count(), total);
+        let float_rank = ((0.5 * total as f64).ceil() as u64).clamp(1, total);
+        assert!(
+            float_rank <= 1u64 << 62,
+            "f64 rank math no longer collapses at 2^63; refresh this regression"
+        );
+        assert_eq!(h.p50(), bucket_high(bucket_index(1_000)));
+        // Below the split the exact rank stays in the first bucket.
+        assert_eq!(h.quantile(0.25), 1);
+    }
+
+    #[test]
+    fn quantile_rank_rounds_half_up_exactly() {
+        assert_eq!(quantile_rank(0.5, 10), 5);
+        assert_eq!(quantile_rank(0.1, 10), 1); // 0.1_f64 · 10 = 1 + 2^-52·ε
+        assert_eq!(quantile_rank(0.99, 10), 10);
+        assert_eq!(quantile_rank(1.0, 7), 7);
+        assert_eq!(quantile_rank(f64::MIN_POSITIVE, u64::MAX), 1);
+        assert_eq!(quantile_rank(0.999, u64::MAX), 18428297329635842047);
+        assert_eq!(quantile_rank(f64::NAN, 5), 1);
     }
 
     #[test]

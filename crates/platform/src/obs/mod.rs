@@ -108,11 +108,18 @@ pub enum Counter {
     /// Bytes written by snapshot-generation flushes (snapshot file +
     /// manifest), the store side of the serve timeline.
     StoreBytesFlushed,
+    /// Mixed-tenant batches split and routed by a histogram registry.
+    RegistryRoutes,
+    /// Per-subtree shard snapshots republished by a registry tenant.
+    ShardPublishes,
+    /// Shard republishes skipped because the shard's content was
+    /// bit-identical to the published snapshot.
+    ShardPublishesSkipped,
 }
 
 impl Counter {
     /// Every counter, in JSON/report order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 26] = [
         Counter::Queries,
         Counter::IndexProbes,
         Counter::ResultRows,
@@ -136,6 +143,9 @@ impl Counter {
         Counter::BatchKernelCalls,
         Counter::BatchLanesPruned,
         Counter::StoreBytesFlushed,
+        Counter::RegistryRoutes,
+        Counter::ShardPublishes,
+        Counter::ShardPublishesSkipped,
     ];
 
     /// Stable snake_case name used in event-log JSON.
@@ -164,6 +174,9 @@ impl Counter {
             Counter::BatchKernelCalls => "batch_kernel_calls",
             Counter::BatchLanesPruned => "batch_lanes_pruned",
             Counter::StoreBytesFlushed => "store_bytes_flushed",
+            Counter::RegistryRoutes => "registry_routes",
+            Counter::ShardPublishes => "shard_publishes",
+            Counter::ShardPublishesSkipped => "shard_publishes_skipped",
         }
     }
 }

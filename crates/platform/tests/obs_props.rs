@@ -163,4 +163,26 @@ check! {
         rebuilt.merge(&d);
         prop_assert_eq!(rebuilt, later, "delta must invert merge");
     }
+
+    fn quantile_rank_survives_huge_totals(
+        lo_extra in 0u64..1_000_000,
+        hi_extra in 1u64..1_000_000,
+    ) {
+        // Totals beyond 2^53, where the old `(q * total as f64).ceil()`
+        // rank rounded before comparing: with 2^62 + lo low recordings
+        // and 2^62 + hi high ones, the median must come from whichever
+        // side is strictly larger — the float path always said "low".
+        let base = 1u64 << 62;
+        let mut h = ValueHist::new();
+        h.record_n(10, base + lo_extra);
+        h.record_n(1_000_000, base + hi_extra);
+        let p50 = h.p50();
+        if hi_extra > lo_extra {
+            prop_assert!(p50 >= 1_000_000, "median must land in the larger high side, got {}", p50);
+        } else if lo_extra > hi_extra {
+            prop_assert_eq!(p50, 10);
+        }
+        prop_assert_eq!(h.quantile(0.25), 10);
+        prop_assert!(h.quantile(0.75) >= 1_000_000);
+    }
 }

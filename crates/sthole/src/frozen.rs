@@ -208,7 +208,7 @@ impl FrozenHistogram {
     /// Writes `bounds ∩ q` into `out` (packed); `false` when empty.
     /// Mirrors `Rect::intersection` dimension-for-dimension.
     #[inline]
-    fn intersect_into(bounds: &[f64], q: &Rect, out: &mut [f64]) -> bool {
+    pub(crate) fn intersect_into(bounds: &[f64], q: &Rect, out: &mut [f64]) -> bool {
         let n = q.ndim();
         let (blo, bhi) = bounds.split_at(n);
         for d in 0..n {
@@ -237,7 +237,7 @@ impl FrozenHistogram {
     /// Interior-volume test of two packed boxes. Mirrors
     /// `Rect::intersects_packed` with `a` in the `self` role.
     #[inline]
-    fn packed_intersects(a: &[f64], b: &[f64]) -> bool {
+    pub(crate) fn packed_intersects(a: &[f64], b: &[f64]) -> bool {
         let n = a.len() / 2;
         for d in 0..n {
             if a[d].max(b[d]) >= a[n + d].min(b[n + d]) {
@@ -251,7 +251,7 @@ impl FrozenHistogram {
     /// box `cb`. Mirrors `Rect::overlap_volume_packed` with `qb` in the
     /// `self` role: per-dimension length `cb_hi.min(qb_hi) − cb_lo.max(qb_lo)`.
     #[inline]
-    fn packed_overlap(qb: &[f64], cb: &[f64]) -> f64 {
+    pub(crate) fn packed_overlap(qb: &[f64], cb: &[f64]) -> f64 {
         let n = qb.len() / 2;
         let mut v = 1.0;
         for d in 0..n {

@@ -34,6 +34,7 @@ mod kernel;
 mod merge;
 mod persist;
 mod scratch;
+mod shard;
 mod stats;
 
 pub use arena::{Bucket, BucketArena, BucketId};
@@ -42,4 +43,5 @@ pub use frozen::FrozenHistogram;
 pub use histogram::{MergePolicy, StHoles, SthConfig};
 pub use merge::{MergeOp, MergePenalty, ParentMerges};
 pub use persist::DecodeError;
+pub use shard::{FrozenShard, ShardedFrozen, ThinRoot};
 pub use stats::HistogramStats;

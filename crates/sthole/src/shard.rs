@@ -1,0 +1,501 @@
+//! Per-subtree snapshot shards: the publication granularity under a
+//! multi-tenant registry.
+//!
+//! A whole-tree [`FrozenHistogram`] forces every republish to copy every
+//! bucket, even when a refine touched one corner of the domain. This
+//! module splits a snapshot at the root: each root-level child subtree is
+//! re-extracted as its own standalone `FrozenHistogram` (a *shard*), and
+//! the root bucket's own state survives as a [`ThinRoot`]. A refine that
+//! only changed one region then republishes one shard's cell while every
+//! other shard keeps its `Arc` — and its epoch.
+//!
+//! ## Bit-identity contract
+//!
+//! Composition is exact, not approximate. The full-tree walk intersects
+//! every node's box with the *original* query (`intersect_into(cb, q, …)`),
+//! never with the running intersection — so walking a root-child subtree
+//! inside the full tree computes exactly what that subtree walked as its
+//! own root computes. [`ThinRoot::estimate`] replays the full walk's root
+//! frame verbatim: same hull gate (with the same `HullGatePrunes`
+//! bookkeeping), same child-order `v_q_own -= overlap` subtraction chain,
+//! same children-then-own fold, same degenerate-own-region branch. The
+//! `shatter_composition_is_bit_identical` tests pin `to_bits` equality
+//! against the unsharded estimate for both the scalar and the batch path.
+//!
+//! The batch path leans on one more exactness fact: a shard whose box does
+//! not interiorly intersect a query contributes a literal `+0.0`, and
+//! every estimate is a sum of non-negative terms, so accumulating *all*
+//! shard batch results unconditionally adds exact zeros for the shards
+//! the scalar walk would have skipped — the bits cannot move. That lets
+//! [`ThinRoot::estimate_batch`] run each shard's lane-oriented kernel over
+//! the whole batch (shards in child order) and then close every root frame
+//! scalar-ly. Obs *counters* (kernel calls, per-shard hull prunes) differ
+//! from the unsharded batch — the contract covers the estimates.
+
+use sth_geometry::Rect;
+use sth_platform::obs;
+use sth_query::{CardinalityEstimator, Estimator};
+
+use crate::frozen::FrozenHistogram;
+
+/// A shard is a complete, standalone [`FrozenHistogram`] whose root is one
+/// root-level child of the source tree. It passes `check_invariants` and
+/// answers estimates through the same scalar walk and batch kernel.
+pub type FrozenShard = FrozenHistogram;
+
+/// The root bucket's surviving state after [`FrozenHistogram::shatter`]:
+/// everything the root frame of the estimation walk needs, plus the packed
+/// child boxes (in child order) that drive the overlap-subtraction chain.
+#[derive(Clone, Debug)]
+pub struct ThinRoot {
+    ndim: usize,
+    /// Packed root box (`[lo_0..lo_{n-1}, hi_0..hi_{n-1}]`).
+    bounds: Vec<f64>,
+    /// Children hull, verbatim, for the root's traversal gate.
+    hull: Vec<f64>,
+    /// Root own-region volume, pre-subtracted at freeze time.
+    own_vol: f64,
+    /// Root own-region tuple count.
+    freq: f64,
+    /// Packed root-child boxes, child order — one `2·ndim` run per shard.
+    child_bounds: Vec<f64>,
+}
+
+/// A snapshot split into independently publishable pieces: the thin root
+/// plus one [`FrozenShard`] per root-level child, in child order.
+#[derive(Clone, Debug)]
+pub struct ShardedFrozen {
+    /// The root frame's state.
+    pub root: ThinRoot,
+    /// Root-child subtrees, child order; the composition paths require the
+    /// slice handed back to [`ThinRoot`] to preserve this order.
+    pub shards: Vec<FrozenShard>,
+}
+
+impl FrozenHistogram {
+    /// Splits the snapshot at the root: each root-level child subtree is
+    /// re-extracted (fresh BFS over the SoA, child order preserved, hulls
+    /// copied verbatim) into a standalone shard, and the root's own state
+    /// becomes a [`ThinRoot`]. A root-only histogram yields zero shards.
+    pub fn shatter(&self) -> ShardedFrozen {
+        let span = 2 * self.ndim;
+        let (cs, ce) = (self.child_start[0] as usize, self.child_end[0] as usize);
+        let mut shards = Vec::with_capacity(ce - cs);
+        let mut child_bounds = Vec::with_capacity((ce - cs) * span);
+        for c in cs..ce {
+            child_bounds.extend_from_slice(&self.bounds[c * span..(c + 1) * span]);
+            shards.push(self.extract_subtree(c));
+        }
+        ShardedFrozen {
+            root: ThinRoot {
+                ndim: self.ndim,
+                bounds: self.bounds[..span].to_vec(),
+                hull: self.hulls[..span].to_vec(),
+                own_vol: self.own_vols[0],
+                freq: self.freqs[0],
+                child_bounds,
+            },
+            shards,
+        }
+    }
+
+    /// Re-BFS of one subtree over the flat arrays. Subtrees are *not*
+    /// contiguous in the source's BFS order, so the child cursors are
+    /// rebuilt against the shard's own numbering; per-node payloads
+    /// (bounds, hulls, vols, own_vols, freqs) are copied verbatim, which
+    /// keeps every traversal decision — including the hull gate — exactly
+    /// the full tree's.
+    fn extract_subtree(&self, subroot: usize) -> FrozenShard {
+        let span = 2 * self.ndim;
+        let mut order = vec![subroot as u32];
+        let mut depth = vec![0usize];
+        let mut child_start = Vec::new();
+        let mut child_end = Vec::new();
+        let mut i = 0;
+        while i < order.len() {
+            let node = order[i] as usize;
+            child_start.push(order.len() as u32);
+            for c in self.child_start[node]..self.child_end[node] {
+                order.push(c);
+                depth.push(depth[i] + 1);
+            }
+            child_end.push(order.len() as u32);
+            i += 1;
+        }
+
+        let count = order.len();
+        let mut bounds = Vec::with_capacity(count * span);
+        let mut hulls = Vec::with_capacity(count * span);
+        let mut vols = Vec::with_capacity(count);
+        let mut own_vols = Vec::with_capacity(count);
+        let mut freqs = Vec::with_capacity(count);
+        for &node in &order {
+            let node = node as usize;
+            bounds.extend_from_slice(&self.bounds[node * span..(node + 1) * span]);
+            hulls.extend_from_slice(&self.hulls[node * span..(node + 1) * span]);
+            vols.push(self.vols[node]);
+            own_vols.push(self.own_vols[node]);
+            freqs.push(self.freqs[node]);
+        }
+
+        FrozenShard {
+            ndim: self.ndim,
+            bounds,
+            hulls,
+            vols,
+            own_vols,
+            freqs,
+            child_start,
+            child_end,
+            max_depth: depth.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Bitwise content equality — the registry's dirty test for skipping a
+    /// shard republish. Deliberately `to_bits`, not `==`: numeric equality
+    /// would conflate `-0.0`/`+0.0` (silently skipping a real change) and
+    /// reject NaN against itself (which here is the safe direction anyway:
+    /// an unequal verdict only costs a redundant republish).
+    pub fn content_eq(&self, other: &Self) -> bool {
+        fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+        }
+        self.ndim == other.ndim
+            && self.max_depth == other.max_depth
+            && self.child_start == other.child_start
+            && self.child_end == other.child_end
+            && bits_eq(&self.bounds, &other.bounds)
+            && bits_eq(&self.hulls, &other.hulls)
+            && bits_eq(&self.vols, &other.vols)
+            && bits_eq(&self.own_vols, &other.own_vols)
+            && bits_eq(&self.freqs, &other.freqs)
+    }
+}
+
+impl ThinRoot {
+    /// Number of dimensions of the snapshotted data space.
+    pub fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    /// Number of shards this root composes over (= root-level children).
+    pub fn shard_count(&self) -> usize {
+        self.child_bounds.len() / (2 * self.ndim)
+    }
+
+    /// The snapshotted domain (the root box).
+    pub fn domain(&self) -> Rect {
+        let n = self.ndim;
+        Rect::from_bounds(&self.bounds[..n], &self.bounds[n..])
+    }
+
+    /// Root own-region tuple count.
+    pub fn freq(&self) -> f64 {
+        self.freq
+    }
+
+    /// Bitwise content equality (same rationale as
+    /// [`FrozenHistogram::content_eq`]).
+    pub fn content_eq(&self, other: &Self) -> bool {
+        fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+        }
+        self.ndim == other.ndim
+            && self.own_vol.to_bits() == other.own_vol.to_bits()
+            && self.freq.to_bits() == other.freq.to_bits()
+            && bits_eq(&self.bounds, &other.bounds)
+            && bits_eq(&self.hull, &other.hull)
+            && bits_eq(&self.child_bounds, &other.child_bounds)
+    }
+
+    /// The root's children-hull gate, with the full walk's prune counter.
+    #[inline]
+    fn enter_gate(&self, qb: &[f64]) -> bool {
+        if self.child_bounds.is_empty() {
+            return false;
+        }
+        if FrozenHistogram::packed_intersects(qb, &self.hull) {
+            true
+        } else {
+            obs::incr(obs::Counter::HullGatePrunes);
+            false
+        }
+    }
+
+    /// The root frame's close: children-sum `est` plus the own term,
+    /// replaying `estimate_with`'s fold including the degenerate branch.
+    #[inline]
+    fn close(&self, mut est: f64, v_q_own: f64, qb: &[f64]) -> f64 {
+        if self.own_vol > 0.0 && v_q_own > 0.0 {
+            est += self.freq * (v_q_own / self.own_vol).min(1.0);
+        } else if v_q_own > 0.0 || qb == &self.bounds[..] {
+            est += self.freq;
+        }
+        est
+    }
+
+    /// Composed scalar estimate over `shards` (which must be this root's
+    /// shards, child order). Bit-identical to the unsharded
+    /// `FrozenHistogram::estimate`, obs counters included: the root frame
+    /// is replayed here and each overlapping shard runs the same walk its
+    /// subtree took inside the full tree.
+    pub fn estimate(&self, shards: &[&FrozenShard], q: &Rect) -> f64 {
+        debug_assert_eq!(q.ndim(), self.ndim, "query dimensionality mismatch");
+        debug_assert_eq!(shards.len(), self.shard_count(), "shard slice mismatch");
+        let span = 2 * self.ndim;
+        let mut qb = vec![0.0; span];
+        if !FrozenHistogram::intersect_into(&self.bounds, q, &mut qb) {
+            return 0.0;
+        }
+        let mut v_q_own = FrozenHistogram::packed_volume(&qb);
+        let mut est = 0.0;
+        if self.enter_gate(&qb) {
+            for (k, shard) in shards.iter().enumerate() {
+                let cb = &self.child_bounds[k * span..(k + 1) * span];
+                let overlap = FrozenHistogram::packed_overlap(&qb, cb);
+                if overlap > 0.0 {
+                    v_q_own -= overlap;
+                    est += shard.estimate(q);
+                }
+            }
+        }
+        self.close(est, v_q_own, &qb)
+    }
+
+    /// Composed batch estimate: clears and fills `out` (the estimator-zoo
+    /// contract), running each shard's `estimate_batch` — the lane kernel
+    /// at [`crate::kernel`]'s threshold — over the *whole* batch in child
+    /// order, then closing every root frame scalar-ly. Bit-identical in
+    /// values to the unsharded batch path (see the module docs for why the
+    /// unconditional accumulation is exact); counter provenance differs.
+    pub fn estimate_batch(
+        &self,
+        shards: &[&FrozenShard],
+        queries: &[Rect],
+        out: &mut Vec<f64>,
+    ) {
+        debug_assert_eq!(shards.len(), self.shard_count(), "shard slice mismatch");
+        out.clear();
+        out.resize(queries.len(), 0.0);
+        let mut tmp = Vec::new();
+        for shard in shards {
+            shard.estimate_batch(queries, &mut tmp);
+            for (acc, v) in out.iter_mut().zip(&tmp) {
+                *acc += *v;
+            }
+        }
+        let span = 2 * self.ndim;
+        let mut qb = vec![0.0; span];
+        for (j, q) in queries.iter().enumerate() {
+            if !FrozenHistogram::intersect_into(&self.bounds, q, &mut qb) {
+                // Every shard lies inside the root box, so the accumulated
+                // sum is already an exact 0.0.
+                debug_assert_eq!(out[j].to_bits(), 0.0f64.to_bits());
+                continue;
+            }
+            let mut v_q_own = FrozenHistogram::packed_volume(&qb);
+            if self.enter_gate(&qb) {
+                for k in 0..shards.len() {
+                    let cb = &self.child_bounds[k * span..(k + 1) * span];
+                    let overlap = FrozenHistogram::packed_overlap(&qb, cb);
+                    if overlap > 0.0 {
+                        v_q_own -= overlap;
+                    }
+                }
+            }
+            out[j] = self.close(out[j], v_q_own, &qb);
+        }
+    }
+}
+
+impl ShardedFrozen {
+    /// Borrows the shards in child order, the shape the [`ThinRoot`]
+    /// composition paths take (a registry passes pinned guards instead).
+    fn shard_refs(&self) -> Vec<&FrozenShard> {
+        self.shards.iter().collect()
+    }
+
+    /// Composed scalar estimate; see [`ThinRoot::estimate`].
+    pub fn estimate(&self, q: &Rect) -> f64 {
+        self.root.estimate(&self.shard_refs(), q)
+    }
+
+    /// Composed batch estimate; see [`ThinRoot::estimate_batch`].
+    pub fn estimate_batch(&self, queries: &[Rect], out: &mut Vec<f64>) {
+        self.root.estimate_batch(&self.shard_refs(), queries, out)
+    }
+
+    /// Splits into the thin root and the owned shards (child order), the
+    /// form a registry publishes into per-shard cells.
+    pub fn into_parts(self) -> (ThinRoot, Vec<FrozenShard>) {
+        (self.root, self.shards)
+    }
+
+    /// Structural invariants: every shard is itself a valid snapshot, and
+    /// the root's child boxes match the shard domains bit-for-bit.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let span = 2 * self.root.ndim;
+        if self.shards.len() != self.root.shard_count() {
+            return Err(format!(
+                "root lists {} children, {} shards present",
+                self.root.shard_count(),
+                self.shards.len()
+            ));
+        }
+        for (k, shard) in self.shards.iter().enumerate() {
+            shard
+                .check_invariants()
+                .map_err(|e| format!("shard {k}: {e}"))?;
+            let cb = &self.root.child_bounds[k * span..(k + 1) * span];
+            let sb = &shard.bounds[..span];
+            if cb.iter().zip(sb).any(|(a, b)| a.to_bits() != b.to_bits()) {
+                return Err(format!("shard {k}: domain disagrees with root child box"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bucket, StHoles};
+    use sth_query::Estimator;
+
+    fn domain() -> Rect {
+        Rect::cube(2, 0.0, 100.0)
+    }
+
+    /// The 4-bucket histogram of Fig. 1 of the paper: two root children,
+    /// one of which has a child of its own.
+    fn fig1() -> StHoles {
+        let mut h = StHoles::with_total(domain(), 10, 2.0);
+        let root = h.root;
+        let b1 = h.arena.alloc(Bucket::leaf(
+            Rect::from_bounds(&[5.0, 55.0], &[40.0, 95.0]),
+            4.0,
+            Some(root),
+        ));
+        let b2 = h.arena.alloc(Bucket::leaf(
+            Rect::from_bounds(&[50.0, 10.0], &[95.0, 45.0]),
+            3.0,
+            Some(root),
+        ));
+        h.arena.get_mut(root).children.extend([b1, b2]);
+        let b3 = h.arena.alloc(Bucket::leaf(
+            Rect::from_bounds(&[60.0, 20.0], &[80.0, 40.0]),
+            3.0,
+            Some(b2),
+        ));
+        h.arena.get_mut(b2).children.push(b3);
+        h.nonroot_count = 3;
+        h.arena.tighten_hull(root);
+        h.arena.tighten_hull(b2);
+        h.check_invariants().unwrap();
+        h
+    }
+
+    fn probe_queries() -> Vec<Rect> {
+        let mut queries = vec![
+            domain(),
+            Rect::from_bounds(&[50.0, 10.0], &[95.0, 45.0]),
+            Rect::from_bounds(&[60.0, 20.0], &[80.0, 40.0]),
+            Rect::from_bounds(&[0.0, 0.0], &[5.0, 55.0]),
+            Rect::from_bounds(&[55.0, 15.0], &[70.0, 30.0]),
+            Rect::from_bounds(&[200.0, 200.0], &[300.0, 300.0]),
+            Rect::from_bounds(&[0.0, 0.0], &[100.0, 10.0]),
+        ];
+        // Pad past the kernel threshold so the batch test exercises it.
+        for i in 0..12 {
+            let lo = i as f64 * 7.0;
+            queries.push(Rect::from_bounds(&[lo, lo * 0.5], &[lo + 25.0, lo * 0.5 + 35.0]));
+        }
+        queries
+    }
+
+    #[test]
+    fn shatter_structure() {
+        let f = fig1().freeze();
+        let sharded = f.shatter();
+        sharded.check_invariants().unwrap();
+        assert_eq!(sharded.root.shard_count(), 2);
+        assert_eq!(sharded.shards[0].node_count(), 1);
+        assert_eq!(sharded.shards[1].node_count(), 2);
+        assert_eq!(sharded.root.ndim(), 2);
+        assert_eq!(&sharded.root.domain(), &f.domain());
+    }
+
+    #[test]
+    fn shatter_composition_is_bit_identical_scalar() {
+        let f = fig1().freeze();
+        let sharded = f.shatter();
+        for q in &probe_queries() {
+            let whole = f.estimate(q);
+            let composed = sharded.estimate(q);
+            assert_eq!(whole.to_bits(), composed.to_bits(), "mismatch on {q}");
+        }
+    }
+
+    #[test]
+    fn shatter_composition_is_bit_identical_batch() {
+        let f = fig1().freeze();
+        let sharded = f.shatter();
+        let queries = probe_queries();
+        let (mut whole, mut composed) = (Vec::new(), Vec::new());
+        f.estimate_batch(&queries, &mut whole);
+        sharded.estimate_batch(&queries, &mut composed);
+        assert_eq!(whole.len(), composed.len());
+        for (j, (a, b)) in whole.iter().zip(&composed).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "mismatch on query {j}");
+        }
+    }
+
+    #[test]
+    fn root_only_histogram_has_zero_shards() {
+        let h = StHoles::with_total(domain(), 10, 1000.0);
+        let f = h.freeze();
+        let sharded = f.shatter();
+        sharded.check_invariants().unwrap();
+        assert_eq!(sharded.root.shard_count(), 0);
+        let quarter = Rect::from_bounds(&[0.0, 0.0], &[50.0, 50.0]);
+        assert_eq!(sharded.estimate(&quarter).to_bits(), f.estimate(&quarter).to_bits());
+        assert_eq!(sharded.estimate(&Rect::cube(2, 200.0, 300.0)), 0.0);
+        let mut out = vec![1.0; 3];
+        sharded.estimate_batch(&[quarter], &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn content_eq_is_bitwise() {
+        let f = fig1().freeze();
+        let g = f.clone();
+        assert!(f.content_eq(&g));
+        let mut g = f.clone();
+        g.freqs[1] = -g.freqs[1];
+        assert!(!f.content_eq(&g));
+        let mut g = f.clone();
+        g.freqs[0] = 0.0;
+        let mut g2 = g.clone();
+        g2.freqs[0] = -0.0;
+        assert!(!g.content_eq(&g2), "±0.0 must count as a change");
+
+        let a = f.shatter();
+        let b = f.shatter();
+        assert!(a.root.content_eq(&b.root));
+        assert!(a.shards.iter().zip(&b.shards).all(|(x, y)| x.content_eq(y)));
+    }
+
+    #[test]
+    fn shards_are_standalone_estimators() {
+        let f = fig1().freeze();
+        let (_root, shards) = f.shatter().into_parts();
+        for shard in &shards {
+            shard.check_invariants().unwrap();
+            let d = shard.domain();
+            assert!(shard.estimate(&d) >= shard.total_freq() * 0.999);
+            let mut out = Vec::new();
+            shard.estimate_batch(&probe_queries(), &mut out);
+            assert_eq!(out.len(), probe_queries().len());
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Acceptance demo for the multi-tenant registry with sharded
+//! publication: many tables/subspaces served concurrently out of one
+//! process, each publishing per-subtree shards so a localized refinement
+//! republishes only the shard it dirtied.
+//!
+//! `STH_TENANTS` (default 8) tenants — each with its own dataset, kd-tree
+//! execution engine, and training/serving workloads — are registered in a
+//! [`sth::eval::Registry`] and driven by [`sth::eval::serve_registry`]:
+//! trainer workers cycle the tenants round-robin, absorbing training
+//! queries and republishing each dirty tenant, while reader workers
+//! answer a mixed-tenant estimate stream split per batch by
+//! [`sth::eval::route_batch`]. The example asserts the properties the
+//! design promises:
+//!
+//! * every tenant is trained and served: per-tenant publishes, routed
+//!   sub-batches, and answered estimates are all non-zero, and each
+//!   tenant's assembly epoch equals 1 + its publishes;
+//! * the registry's composite epoch accounts for every publication round
+//!   across all tenants exactly;
+//! * mixed-tenant batches routed through the registry are bit-identical
+//!   to asking each tenant's pinned shard-composed view directly;
+//! * a refinement localized to one region of a tenant's domain
+//!   republishes only the affected shard cells — the other shards' epochs
+//!   do not move (differential publication, `STH_SHARD_PUBLISH`);
+//! * per-tenant timelines attribute every routed sub-batch to a tenant
+//!   epoch, and the aggregate obs rollup carries the registry counters.
+//!
+//! ```text
+//! STH_AUDIT=1 cargo run --release --example registry
+//! ```
+
+use std::sync::Arc;
+
+use sth::eval::{serve_registry, Registry, RegistryServeConfig, TenantKey, TenantRuntime};
+use sth::platform::{obs, par};
+use sth::prelude::*;
+
+fn main() {
+    obs::force_metrics(true);
+    obs::force_audit(true);
+
+    let tenants: usize =
+        std::env::var("STH_TENANTS").ok().and_then(|v| v.parse().ok()).unwrap_or(8);
+    assert!(tenants >= 1, "STH_TENANTS must be at least 1");
+    let cfg = RegistryServeConfig { readers: 4, batch: 32, republish_every: 20, trainer_workers: 3 };
+    if par::worker_count() < cfg.readers {
+        std::env::set_var("STH_THREADS", cfg.readers.to_string());
+    }
+
+    // Each tenant is an independent table: its own correlated dataset,
+    // its own kd-tree engine, its own workloads, its own bucket budget.
+    let mut runtimes = Vec::with_capacity(tenants);
+    let mut serve_rects: Vec<Vec<Rect>> = Vec::with_capacity(tenants);
+    for t in 0..tenants {
+        let data = sth::data::cross::CrossSpec::cross2d().scaled(0.02).generate();
+        let index = Arc::new(KdCountTree::build(&data));
+        let wl = WorkloadSpec { count: 180, ..WorkloadSpec::paper(0.01, 1_000 + t as u64) }
+            .generate(data.domain(), None);
+        let (train, serve) = wl.split_train(120);
+        serve_rects.push(serve.queries().iter().map(|q| q.rect().clone()).collect());
+        runtimes.push(TenantRuntime {
+            key: TenantKey::new(format!("table{t}"), vec![0, 1]),
+            hist: build_uninitialized(&data, 48),
+            train,
+            serve,
+            counter: index,
+        });
+    }
+    println!("registry: {} tenants, {:?}", tenants, cfg);
+
+    let mut registry = Registry::new();
+    let report = serve_registry(&mut registry, runtimes, &cfg);
+
+    println!(
+        "served {} estimates in {} routed sub-batches across {} readers; composite epoch {}",
+        report.answered(),
+        report.batches(),
+        report.readers.len(),
+        report.composite_final
+    );
+    for t in &report.tenants {
+        println!(
+            "  {}: {} publishes (epoch {}), shards {} republished / {} skipped, \
+             {} answered in {} sub-batches",
+            t.key, t.publishes, t.final_epoch, t.shard_publishes, t.shard_skips, t.answered,
+            t.batches
+        );
+    }
+
+    // -- Acceptance: every tenant trained, served, and accounted --------
+    assert_eq!(report.tenants.len(), tenants);
+    let mut total_publishes = 0;
+    for t in &report.tenants {
+        assert!(t.publishes >= 1, "{} never republished", t.key);
+        assert_eq!(t.final_epoch, 1 + t.publishes, "{} epoch drift", t.key);
+        assert!(t.answered >= 1, "{} served nothing", t.key);
+        assert!(t.batches >= 1, "{} got no routed sub-batches", t.key);
+        assert_eq!(
+            t.timeline.rows.iter().map(|r| r.answered).sum::<u64>(),
+            t.answered,
+            "{} timeline does not account for its estimates",
+            t.key
+        );
+        total_publishes += t.publishes;
+    }
+    assert_eq!(
+        report.composite_final,
+        1 + total_publishes,
+        "composite epoch must tick once per publication round"
+    );
+    let mixed_batches: u64 = report.readers.iter().map(|r| r.batches).sum();
+    assert!(
+        report.counters.get(obs::Counter::RegistryRoutes) >= mixed_batches,
+        "registry routing counter did not advance: {} routes for {} mixed batches",
+        report.counters.get(obs::Counter::RegistryRoutes),
+        mixed_batches
+    );
+    assert!(report.counters.get(obs::Counter::ShardPublishes) >= 1);
+
+    // -- Acceptance: routing is invisible, bit for bit ------------------
+    // A mixed batch interleaving every tenant, answered through the
+    // routed path, must equal each tenant's pinned view exactly.
+    let mixed: Vec<(usize, Rect)> = (0..tenants * 8)
+        .map(|j| {
+            let id = j % tenants;
+            (id, serve_rects[id][j / tenants % serve_rects[id].len()].clone())
+        })
+        .collect();
+    let mut routed = Vec::new();
+    registry.estimate_batch_routed(&mixed, &mut routed);
+    for (j, (id, q)) in mixed.iter().enumerate() {
+        let direct = registry.load(*id).estimate(q);
+        assert_eq!(
+            routed[j].to_bits(),
+            direct.to_bits(),
+            "tenant {id} query {j}: routed {} != direct {direct}",
+            routed[j]
+        );
+    }
+    println!("mixed-tenant routing bit-identical on {} probes", mixed.len());
+
+    // -- Acceptance: localized refinement republishes one shard ---------
+    // A fresh tenant, trained broadly, then refined on one localized
+    // query: the differential publish may touch the dirty shard (and the
+    // thin root) but must skip — and leave the epochs of — the shards
+    // the refinement never reached.
+    let data = sth::data::cross::CrossSpec::cross2d().scaled(0.02).generate();
+    let index = KdCountTree::build(&data);
+    let mut hist = build_uninitialized(&data, 48);
+    let wl = WorkloadSpec::paper(0.01, 4_242).generate(data.domain(), None);
+    for q in wl.queries().iter().take(60) {
+        hist.refine(q.rect(), &index);
+    }
+    let mut local = Registry::new();
+    let id = local.register(TenantKey::new("orders", vec![0, 1]), &hist);
+    let before = local.shard_epochs(id);
+    // An unseen localized query (1% of the domain volume): refining it
+    // dirties the subtree(s) it lands in and nothing else.
+    for q in wl.queries().iter().skip(60).take(1) {
+        hist.refine(q.rect(), &index);
+    }
+    let outcome = local.publish(id, &hist);
+    let after = local.shard_epochs(id);
+    assert!(
+        outcome.shard_publishes >= 1,
+        "localized refinement dirtied nothing: {outcome:?}"
+    );
+    assert!(
+        outcome.shard_skips >= 1,
+        "localized refinement republished every shard: {outcome:?}"
+    );
+    let surviving = before.iter().zip(&after).filter(|(b, a)| b == a).count();
+    assert!(
+        surviving >= 1,
+        "no shard epoch survived the localized publish: {before:?} -> {after:?}"
+    );
+    println!(
+        "localized refine: {} of {} shards republished, {} skipped ({} epochs untouched)",
+        outcome.shard_publishes, outcome.shards_total, outcome.shard_skips, surviving
+    );
+
+    obs::force_audit(false);
+    obs::force_metrics(false);
+    println!("registry example OK");
+}

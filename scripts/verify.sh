@@ -30,6 +30,15 @@ echo "verify: observability example OK ($(wc -l < "$trace_log") trace events)"
 STH_AUDIT=1 cargo run -q --release --offline --example serving > /dev/null
 echo "verify: serving example OK"
 
+# Registry acceptance: 8 tenants (tables/subspaces) registered, trained
+# and served concurrently out of one registry with sharded publication.
+# The example asserts mixed-tenant routing is bit-identical to per-tenant
+# estimation, that a localized refinement republishes only the shard it
+# dirtied (per-shard epoch counters), and that per-tenant timelines and
+# the composite epoch account for every publication round exactly.
+STH_AUDIT=1 cargo run -q --release --offline --example registry > /dev/null
+echo "verify: registry example OK"
+
 # Durability acceptance: train through the write-ahead store, kill the run
 # mid-stream with an injected filesystem fault, reopen the torn directory
 # and finish bit-identically to a never-crashed reference run. The example
