@@ -1,6 +1,7 @@
 //! Microbenchmarks of the histogram's core operations: estimation (live
 //! and frozen read path), hole drilling, merge search, the concurrent
-//! serve loop, durability (delta append, snapshot flush, cold recovery),
+//! serve loop, the poll-based serving engine (coalesced vs single-request
+//! services), durability (delta append, snapshot flush, cold recovery),
 //! and exact range counting (k-d tree vs scan).
 
 use std::sync::Arc;
@@ -135,6 +136,45 @@ fn bench_serve_concurrent(c: &mut Bench) {
                 black_box(report.answered())
             });
         });
+    }
+    g.finish();
+}
+
+fn bench_serve_engine(c: &mut Bench) {
+    // The poll-based serving engine end to end: spin up the reactor, push
+    // a fixed backlog of 4-query requests through the open loop, drain.
+    // Two backlog sizes give two operating points (a light and a deep
+    // queue), each with coalescing on (requests grouped up to 64 queries
+    // for the lane kernel) and off (one request per service — the
+    // thread-per-reader regime at equal thread count). Engine-thread
+    // startup is included; it is the same across the on/off pairs, so
+    // the delta isolates what coalescing buys.
+    use sth_platform::snap::SnapshotCell;
+    use sth_serve::{run_open, CellBackend, EngineConfig};
+
+    let (h, probes) = trained_histogram(50);
+    let cell = SnapshotCell::new(h.freeze());
+    let mut g = c.benchmark_group("serve_engine");
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    for requests in [64usize, 512] {
+        for coalesce in [64usize, 1] {
+            let cfg = EngineConfig { threads: 2, coalesce, deadline: None };
+            let label = if coalesce > 1 { "coalesced" } else { "single" };
+            g.bench_function(format!("open_{requests}req_{label}"), |b| {
+                b.iter(|| {
+                    let backend = CellBackend::new(&cell);
+                    let (report, ()) = run_open(&backend, &cfg, false, |inj| {
+                        for i in 0..requests {
+                            let at = (i * 4) % (probes.len() - 4);
+                            inj.inject(0, probes[at..at + 4].to_vec());
+                        }
+                    });
+                    black_box(report.answered_total())
+                });
+            });
+        }
     }
     g.finish();
 }
@@ -410,6 +450,7 @@ fn main() {
     bench_estimate_frozen(&mut c);
     bench_batch_kernel(&mut c);
     bench_serve_concurrent(&mut c);
+    bench_serve_engine(&mut c);
     bench_registry_route(&mut c);
     bench_store_ops(&mut c);
     bench_refine(&mut c);

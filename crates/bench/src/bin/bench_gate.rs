@@ -24,6 +24,7 @@ const GATED_GROUPS: &[&str] = &[
     "estimate_frozen",
     "batch_kernel",
     "serve_concurrent",
+    "serve_engine",
     "registry_route",
     "store_ops",
     "obs_overhead",

@@ -13,27 +13,30 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+mod loadgen;
 mod metrics;
 mod registry;
 mod runner;
 mod serve;
 mod spec;
 mod table;
-mod timeline;
 
+pub use loadgen::{render_load_table, run_load_point, sweep_load, LoadGenConfig, LoadPoint};
 pub use metrics::{
     average_nae, evaluate_self_tuning, evaluate_static, normalized_absolute_error, EmptyWorkload,
 };
 pub use registry::{
-    route_batch, serve_registry, PublishOutcome, Registry, RegistryServeConfig,
-    RegistryServeReport, TenantId, TenantKey, TenantRuntime, TenantServeReport, TenantView,
+    serve_registry, PublishOutcome, Registry, RegistryServeConfig, RegistryServeReport, TenantKey,
+    TenantRuntime, TenantServeReport, TenantView,
 };
 pub use runner::{run_simulation, sweep, RunConfig, RunOutcome, RunProvenance, Variant};
 pub use serve::{
-    freeze_for_serving, serve_concurrent, serve_durable, DurableServeReport, ReaderStats,
-    ServeConfig, ServeReport,
+    freeze_for_serving, serve_concurrent, serve_durable, DurableServeReport, ServeConfig,
+    ServeReport,
 };
-pub use timeline::{EpochRow, EpochTimeline};
+// The serving engine and its attribution types moved to `sth-serve`; the
+// eval reports keep exposing them under the old paths.
+pub use sth_serve::{route_batch, EpochRow, EpochTimeline, ReaderStats, TenantId};
 pub use spec::{DatasetSpec, ExperimentCtx, PreparedDataset};
 pub use table::Table;
 

@@ -26,18 +26,19 @@
 //!   timeline for the aggregate report.
 //!
 //! [`serve_registry`] drives the whole thing end to end: tenant trainers
-//! run on the [`sth_platform::par`] scoped pool (tenants dealt round-robin
-//! across workers; each turn absorbs a tenant's next slice of training
-//! queries and immediately publishes that dirty tenant), while reader
-//! workers split a mixed-tenant serve stream per batch, pin each tenant's
-//! view once, and attribute the sub-batch to both the tenant epoch and the
-//! composite epoch. Obs counters and latency samples roll up per-tenant
-//! and in aggregate.
+//! run on scoped threads (tenants dealt round-robin across workers; each
+//! turn absorbs a tenant's next slice of training queries and immediately
+//! publishes that dirty tenant), while the [`sth_serve`] engine serves the
+//! mixed-tenant stream — routing each generated batch by tenant
+//! ([`sth_serve::route_batch`]), answering each tenant's requests from one
+//! cached assembly pin (refreshed only when the tenant epoch moves), and
+//! attributing every request to both the tenant epoch and the composite
+//! epoch. Obs counters and latency samples roll up per-tenant and in
+//! aggregate.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 use sth_geometry::Rect;
 use sth_histogram::{FrozenShard, StHoles, ThinRoot};
@@ -45,9 +46,10 @@ use sth_index::{RangeCounter, ResultSetCounter};
 use sth_platform::obs;
 use sth_platform::snap::{EpochClock, SnapshotCell, SnapshotGuard};
 use sth_query::{SelfTuning, Workload};
-
-use crate::serve::ReaderStats;
-use crate::timeline::{counter_marks, EpochRow, EpochTimeline};
+use sth_serve::{
+    route_batch, serve_closed, Backend, EngineConfig, EngineStats, EpochTimeline, Pinned,
+    ReaderStats, TenantId,
+};
 
 /// Identity of one histogram tenant: the table it models and the column
 /// subspace (ascending dimension indices) it covers.
@@ -78,10 +80,6 @@ impl std::fmt::Display for TenantKey {
         write!(f, "]")
     }
 }
-
-/// Dense tenant handle: the index handed back by [`Registry::register`],
-/// used on the hot routing path instead of the string key.
-pub type TenantId = usize;
 
 /// One coherent, immutable assembly of a tenant's snapshot: the thin root
 /// plus a pinned guard per shard. Readers obtain it with a single
@@ -308,6 +306,12 @@ impl Registry {
         self.tenants[id].cell.load()
     }
 
+    /// Pins the tenant's current assembly only if its epoch differs from
+    /// `seen` (`seen = 0` always pins) — the engine's pin-cache refresh.
+    pub fn load_if_newer(&self, id: TenantId, seen: u64) -> Option<SnapshotGuard<TenantView>> {
+        self.tenants[id].cell.load_if_newer(seen)
+    }
+
     /// The tenant's current assembly epoch.
     pub fn tenant_epoch(&self, id: TenantId) -> u64 {
         self.tenants[id].cell.epoch()
@@ -351,15 +355,50 @@ impl Registry {
     }
 }
 
-/// Groups a mixed-tenant batch by tenant: ascending tenant id, each with
-/// the input positions of its queries in input order. The routing split
-/// behind [`Registry::estimate_batch_routed`] and the serve readers.
-pub fn route_batch(batch: &[(TenantId, Rect)]) -> BTreeMap<TenantId, Vec<usize>> {
-    let mut groups: BTreeMap<TenantId, Vec<usize>> = BTreeMap::new();
-    for (j, (id, _)) in batch.iter().enumerate() {
-        groups.entry(*id).or_default().push(j);
+/// The registry as an engine backend: one tenant per assembly cell, pins
+/// refreshed via [`Registry::load_if_newer`], routing marks counted per
+/// generated batch.
+struct RegistryBackend<'a> {
+    registry: &'a Registry,
+}
+
+impl Backend for RegistryBackend<'_> {
+    type Pinned = TenantPin;
+
+    fn tenant_count(&self) -> usize {
+        self.registry.tenant_count()
     }
-    groups
+
+    fn repin(&self, tenant: TenantId, seen: u64) -> Option<TenantPin> {
+        self.registry.load_if_newer(tenant, seen).map(TenantPin)
+    }
+
+    fn mark_route(&self) {
+        obs::incr(obs::Counter::RegistryRoutes);
+    }
+}
+
+/// A pinned tenant assembly — newtype over the guard because the orphan
+/// rule won't let this crate implement the foreign [`Pinned`] trait
+/// directly on the foreign [`SnapshotGuard`] wrapper.
+struct TenantPin(SnapshotGuard<TenantView>);
+
+impl Pinned for TenantPin {
+    fn epoch(&self) -> u64 {
+        self.0.epoch()
+    }
+
+    fn composite_epoch(&self) -> u64 {
+        TenantView::composite_epoch(&self.0)
+    }
+
+    fn estimate_batch(&self, queries: &[Rect], out: &mut Vec<f64>) {
+        TenantView::estimate_batch(&self.0, queries, out)
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        TenantView::check_invariants(&self.0)
+    }
 }
 
 /// Everything [`serve_registry`] needs to drive one tenant: identity,
@@ -380,9 +419,10 @@ pub struct TenantRuntime {
 /// Knobs for [`serve_registry`].
 #[derive(Clone, Debug)]
 pub struct RegistryServeConfig {
-    /// Reader worker count (bounded by [`sth_platform::par::worker_count`]).
+    /// Logical reader streams, multiplexed over the engine's thread pool
+    /// (at most `min(readers, worker_count)` threads by default).
     pub readers: usize,
-    /// Mixed-stream queries estimated per reader batch.
+    /// Mixed-stream queries per generated stream batch.
     pub batch: usize,
     /// Training queries a trainer absorbs per tenant turn before
     /// publishing that tenant.
@@ -438,6 +478,11 @@ pub struct RegistryServeReport {
     pub composite_final: u64,
     /// Aggregate serving activity on the composite-epoch timeline.
     pub composite_timeline: EpochTimeline,
+    /// How the engine ran: services, coalescing, pin cache hits, sheds.
+    pub engine: EngineStats,
+    /// Estimates shed by deadline admission control, per tenant (all zero
+    /// unless `STH_SERVE_DEADLINE_US` is set).
+    pub shed_by_tenant: Vec<u64>,
 }
 
 impl RegistryServeReport {
@@ -461,99 +506,20 @@ struct TrainerTotals {
     counters: obs::Snapshot,
 }
 
-struct ReaderOutcome {
-    stats: ReaderStats,
-    delta: obs::Snapshot,
-    /// Per-tenant epoch rows, tenant-id order.
-    tenant_rows: Vec<BTreeMap<u64, EpochRow>>,
-    /// Composite-epoch rows.
-    composite_rows: BTreeMap<u64, EpochRow>,
+/// Trainer-liveness drop guard: the last trainer worker to exit — by
+/// finishing *or by panicking* — raises the engine's done flag. Without
+/// the drop guarantee, a panicking trainer would leave the engine polling
+/// the last assemblies forever.
+struct TrainerLive<'a> {
+    live: &'a AtomicU64,
+    done: &'a AtomicBool,
 }
 
-/// One registry reader: walk the mixed stream in staggered batches, split
-/// each batch by tenant, pin each tenant's assembly once, answer the
-/// sub-batch from the composed shard view, and attribute the work to both
-/// the tenant epoch and the composite epoch — until one drain batch after
-/// the trainers finish.
-fn run_registry_reader(
-    ri: usize,
-    registry: &Registry,
-    stream: &[(TenantId, Rect)],
-    done: &AtomicBool,
-    readers_started: &AtomicU64,
-    batch_size: usize,
-) -> ReaderOutcome {
-    let _flight = obs::flight::FlightDump::new("registry reader");
-    let obs_before = obs::snapshot();
-    let audit = obs::audit_enabled();
-    let mut stats = ReaderStats::default();
-    let mut tenant_rows: Vec<BTreeMap<u64, EpochRow>> =
-        vec![BTreeMap::new(); registry.tenant_count()];
-    let mut composite_rows: BTreeMap<u64, EpochRow> = BTreeMap::new();
-    let mut composite_seen = BTreeSet::new();
-    let mut rects = Vec::with_capacity(batch_size);
-    let mut out = Vec::with_capacity(batch_size);
-    let mut cursor = (ri * batch_size) % stream.len();
-    readers_started.fetch_add(1, Ordering::AcqRel);
-    loop {
-        let finished = done.load(Ordering::Acquire);
-        let end = (cursor + batch_size).min(stream.len());
-        let batch = &stream[cursor..end];
-        cursor = end % stream.len();
-        let mut filled = 0u64;
-        obs::incr(obs::Counter::RegistryRoutes);
-        for (id, idxs) in route_batch(batch) {
-            let view = registry.load(id);
-            let tenant_epoch = view.epoch();
-            let composite = view.composite_epoch();
-            if audit {
-                obs::incr(obs::Counter::AuditChecks);
-                stats.audited += 1;
-                if let Err(e) = view.check_invariants() {
-                    panic!("STH_AUDIT: torn assembly for tenant {id} at epoch {tenant_epoch}: {e}");
-                }
-            }
-            rects.clear();
-            rects.extend(idxs.iter().map(|&j| batch[j].1.clone()));
-            let (kernel0, pruned0, _) = counter_marks();
-            let t0 = Instant::now();
-            view.estimate_batch(&rects, &mut out);
-            let elapsed_ns = t0.elapsed().as_nanos() as u64;
-            let (kernel1, pruned1, _) = counter_marks();
-            for (est, q) in out.iter().zip(&rects) {
-                assert!(
-                    est.is_finite() && *est >= 0.0,
-                    "bad estimate {est} for tenant {id} query {q}"
-                );
-            }
-            filled += out.len() as u64;
-            stats.answered += out.len() as u64;
-            composite_seen.insert(composite);
-            for (rows, epoch) in [
-                (&mut tenant_rows[id], tenant_epoch),
-                (&mut composite_rows, composite),
-            ] {
-                let row =
-                    rows.entry(epoch).or_insert_with(|| EpochRow { epoch, ..EpochRow::default() });
-                row.batches += 1;
-                row.answered += out.len() as u64;
-                row.batch_ns.record(elapsed_ns);
-                row.kernel_calls += kernel1 - kernel0;
-                row.lanes_pruned += pruned1 - pruned0;
-            }
+impl Drop for TrainerLive<'_> {
+    fn drop(&mut self) {
+        if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.done.store(true, Ordering::Release);
         }
-        obs::record_hist(obs::HistKind::ServeBatchFill, filled);
-        stats.batches += 1;
-        if finished {
-            break;
-        }
-    }
-    stats.epochs = composite_seen.into_iter().collect();
-    ReaderOutcome {
-        stats,
-        delta: obs::snapshot().delta(&obs_before),
-        tenant_rows,
-        composite_rows,
     }
 }
 
@@ -568,10 +534,11 @@ fn run_registry_reader(
 /// moving on — so publication pressure follows refinement pressure.
 /// A tenant's final state is always published by its last turn.
 ///
-/// Readers: the per-tenant serve workloads are interleaved round-robin
-/// into one mixed stream; each reader batch is split by tenant and
-/// answered from one pinned assembly per tenant (see
-/// [`run_registry_reader`]'s attribution contract).
+/// Serving: the per-tenant serve workloads are interleaved round-robin
+/// into one mixed stream and handed to the [`sth_serve`] engine — each
+/// generated batch is routed by tenant, answered from cached assembly
+/// pins (refreshed when the tenant epoch moves), and attributed to both
+/// the tenant epoch and the composite epoch.
 pub fn serve_registry(
     registry: &mut Registry,
     runtimes: Vec<TenantRuntime>,
@@ -621,14 +588,17 @@ pub fn serve_registry(
     let trainers_live = AtomicU64::new(workers as u64);
     let registry_ref = &*registry;
 
-    let (trainer_outcomes, reader_outcomes) = std::thread::scope(|s| {
+    let (trainer_outcomes, run) = std::thread::scope(|s| {
         let trainer_handles: Vec<_> = buckets
             .iter()
             .map(|bucket| {
                 s.spawn(|| {
                     let _flight = obs::flight::FlightDump::new("registry trainer");
-                    // Hold the epoch-1 assemblies until a reader pinned
-                    // them (same guarantee as `serve_concurrent`).
+                    // Raise the done flag when the last worker exits —
+                    // even on panic, so the engine never hangs.
+                    let _live = TrainerLive { live: &trainers_live, done: &done };
+                    // Hold the epoch-1 assemblies until the engine is
+                    // live (same guarantee as `serve_concurrent`).
                     while readers_started.load(Ordering::Acquire) == 0 {
                         std::thread::yield_now();
                     }
@@ -672,23 +642,26 @@ pub fn serve_registry(
                     for (id, _) in mine.iter() {
                         totals.entry(*id).or_default();
                     }
-                    if trainers_live.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        done.store(true, Ordering::Release);
-                    }
                     totals
                 })
             })
             .collect();
 
-        let ids: Vec<usize> = (0..cfg.readers).collect();
-        let outcomes = sth_platform::par::scope_map(&ids, |&ri| {
-            run_registry_reader(ri, registry_ref, &stream, &done, &readers_started, cfg.batch)
-        });
+        let backend = RegistryBackend { registry: registry_ref };
+        let run = serve_closed(
+            &backend,
+            &stream,
+            cfg.readers,
+            cfg.batch,
+            &EngineConfig::from_env(),
+            &done,
+            &readers_started,
+        );
         let trainer_outcomes: Vec<BTreeMap<TenantId, TrainerTotals>> = trainer_handles
             .into_iter()
             .map(|h| h.join().expect("registry trainer worker panicked"))
             .collect();
-        (trainer_outcomes, outcomes)
+        (trainer_outcomes, run)
     });
 
     // Roll up: per-tenant totals (each tenant lives in exactly one
@@ -700,19 +673,8 @@ pub fn serve_registry(
             totals.insert(id, t);
         }
     }
-    let mut counters = obs::Snapshot::default();
-    let mut readers = Vec::with_capacity(reader_outcomes.len());
-    let mut composite_maps = Vec::with_capacity(reader_outcomes.len());
-    let mut tenant_maps: Vec<Vec<BTreeMap<u64, EpochRow>>> =
-        (0..registry.tenant_count()).map(|_| Vec::new()).collect();
-    for outcome in reader_outcomes {
-        counters.merge(&outcome.delta);
-        readers.push(outcome.stats);
-        composite_maps.push(outcome.composite_rows);
-        for (id, rows) in outcome.tenant_rows.into_iter().enumerate() {
-            tenant_maps[id].push(rows);
-        }
-    }
+    let mut counters = run.obs;
+    let mut tenant_maps = run.tenant_rows;
 
     let mut tenants = Vec::with_capacity(registry.tenant_count());
     for id in 0..registry.tenant_count() {
@@ -741,14 +703,16 @@ pub fn serve_registry(
     let composite_final = registry.composite_epoch();
     let report = RegistryServeReport {
         tenants,
-        readers,
+        readers: run.streams,
         counters,
         composite_final,
         composite_timeline: EpochTimeline::assemble(
             composite_final,
-            composite_maps,
+            run.composite_rows,
             BTreeMap::new(),
         ),
+        engine: run.stats,
+        shed_by_tenant: run.shed,
     };
     if obs::event_enabled() {
         obs::event(
@@ -952,6 +916,69 @@ mod tests {
             assert!(!r.epochs.is_empty());
         }
         assert!(report.answered() >= cfg.batch as u64);
+        // Deadlines are disabled by default: nothing sheds, ever.
+        assert!(report.shed_by_tenant.iter().all(|&s| s == 0));
+        assert_eq!(report.engine.shed_requests, 0);
+        assert!(report.engine.services > 0);
+    }
+
+    sth_platform::check! {
+        cases = 3;
+
+        /// Coalescing is invisible across tenants: mixed batches split by
+        /// `route_batch` and pushed through the engine (whatever the
+        /// coalescing cap groups together) answer bit-identically to
+        /// asking each tenant's pinned view directly, query by query.
+        #[test]
+        fn coalesced_mixed_engine_batches_are_bit_identical(
+            request_len in 1usize..5,
+            coalesce in 1usize..97,
+        ) {
+            use sth_platform::check::prelude::*;
+
+            let mut reg = Registry::new();
+            for seed in [61u64, 67, 71] {
+                let (hist, ..) = trained(seed, 20);
+                reg.register(TenantKey::new(format!("t{seed}"), vec![0, 1]), &hist);
+            }
+            let mixed: Vec<(TenantId, Rect)> = (0..36)
+                .map(|i| {
+                    let lo = (i % 9) as f64 * 8.0;
+                    (i % 3, Rect::from_bounds(&[lo, lo * 0.5], &[lo + 18.0, lo * 0.5 + 25.0]))
+                })
+                .collect();
+            let backend = RegistryBackend { registry: &reg };
+            let cfg = EngineConfig { threads: 2, coalesce, deadline: None };
+            let (report, injected) = sth_serve::run_open(&backend, &cfg, true, |inj| {
+                let mut injected = Vec::new();
+                // Requests follow the routing split of fixed-size mixed
+                // batches, exactly like the closed loop generates them.
+                for chunk in mixed.chunks(request_len * 3) {
+                    for (tenant, idxs) in route_batch(chunk) {
+                        let rects: Vec<Rect> =
+                            idxs.iter().map(|&j| chunk[j].1.clone()).collect();
+                        let slot = inj.inject(tenant, rects.clone());
+                        injected.push((tenant, rects, slot));
+                    }
+                }
+                injected
+            });
+            prop_assert_eq!(report.shed_total(), 0);
+            prop_assert_eq!(report.answered_total(), mixed.len() as u64);
+            let results = report.results.expect("capture was on");
+            for (tenant, rects, slot) in injected {
+                let view = reg.load(tenant);
+                for (k, q) in rects.iter().enumerate() {
+                    prop_assert_eq!(
+                        results[slot + k].to_bits(),
+                        view.estimate(q).to_bits(),
+                        "tenant {} slot {} drifted through the engine",
+                        tenant,
+                        slot + k
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -3,52 +3,57 @@
 //! A trainer thread owns the mutable [`StHoles`] and walks the training
 //! workload, refining after every query and republishing a fresh
 //! [`FrozenHistogram`] into a [`SnapshotCell`] every `republish_every`
-//! queries. Meanwhile [`sth_platform::par::scope_map`] reader workers
-//! answer estimate batches from whatever snapshot is current, pinning one
-//! coherent snapshot per batch via [`SnapshotCell::load`]. The write-path
+//! queries. Meanwhile the [`sth_serve`] engine answers estimate batches
+//! from whatever snapshot is current: [`ServeConfig::readers`] logical
+//! streams are multiplexed over a small pool of engine threads, each
+//! caching one snapshot pin and refreshing it only when the epoch moves
+//! ([`sth_platform::snap::SnapshotCell::load_if_newer`]). The write-path
 //! machinery (merge accelerator, refine scratch) stays on the trainer
-//! thread; readers touch only packed immutable arrays.
+//! thread; the engine touches only packed immutable arrays.
 //!
-//! Under `STH_AUDIT=1` every loaded snapshot is structurally verified
-//! before serving from it — a torn or half-published snapshot would fail
-//! [`FrozenHistogram::check_invariants`] and panic the run. Trainer and
-//! reader loops carry [`obs::flight::FlightDump`] guards, so with
-//! `STH_FLIGHT` set any such panic (or a store poisoning) leaves a
-//! black-box trace of the final pre-crash events.
+//! Under `STH_AUDIT=1` every *freshly pinned* snapshot is structurally
+//! verified before serving from it — a torn or half-published snapshot
+//! would fail [`FrozenHistogram::check_invariants`] and panic the run.
+//! The trainer carries an [`obs::flight::FlightDump`] guard and the
+//! engine hoists its own dump-on-panic guard into every engine thread, so
+//! with `STH_FLIGHT` set any such panic (or a store poisoning) leaves
+//! exactly one black-box trace of the final pre-crash events.
 //!
-//! Every batch is attributed to the epoch of the snapshot that answered
+//! Every request is attributed to the epoch of the snapshot that answered
 //! it; the assembled [`EpochTimeline`] rides on the reports with
-//! per-epoch batch-latency quantiles, kernel counters, and (for durable
-//! runs) store flush bytes.
+//! per-epoch latency quantiles (queue wait included), kernel counters,
+//! and (for durable runs) store flush bytes.
 //!
 //! The loop terminates cleanly: the trainer publishes a final snapshot of
-//! the fully trained histogram, then raises a done flag; each reader
-//! drains one last batch *after* observing the flag, so every reader is
+//! the fully trained histogram, then raises a done flag; each stream
+//! drains one last batch generated *after* the flag, so every stream is
 //! guaranteed to have served from the final epoch. Because the trainer
-//! also waits for the first reader load before refining, the initial
+//! also waits for the engine to start before refining, the initial
 //! (epoch 1) snapshot is observed too — every run therefore serves from
 //! at least two distinct epochs.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Instant;
 
 use sth_geometry::Rect;
 use sth_histogram::{FrozenHistogram, StHoles};
 use sth_index::{RangeCounter, ResultSetCounter};
 use sth_platform::obs;
 use sth_platform::snap::SnapshotCell;
-use sth_query::{Estimator, SelfTuning, Workload};
-
-use crate::timeline::{counter_marks, EpochRow, EpochTimeline};
+use sth_query::{SelfTuning, Workload};
+use sth_serve::{
+    counter_marks, serve_closed, CellBackend, EngineConfig, EngineRun, EngineStats, EpochRow,
+    EpochTimeline, ReaderStats, TenantId,
+};
 
 /// Knobs for [`serve_concurrent`].
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
-    /// Reader worker count (the actual thread count is additionally
-    /// bounded by [`sth_platform::par::worker_count`]).
+    /// Logical reader streams. The engine multiplexes them over at most
+    /// `min(readers, worker_count)` threads by default
+    /// (`STH_SERVE_THREADS` overrides).
     pub readers: usize,
-    /// Queries estimated per loaded snapshot.
+    /// Queries per generated stream batch.
     pub batch: usize,
     /// Trainer queries between republishes.
     pub republish_every: usize,
@@ -58,19 +63,6 @@ impl Default for ServeConfig {
     fn default() -> Self {
         Self { readers: 4, batch: 32, republish_every: 50 }
     }
-}
-
-/// What one reader worker did.
-#[derive(Clone, Debug, Default)]
-pub struct ReaderStats {
-    /// Batches served.
-    pub batches: u64,
-    /// Individual estimates answered.
-    pub answered: u64,
-    /// Snapshots verified under `STH_AUDIT`.
-    pub audited: u64,
-    /// Distinct snapshot epochs this reader served from.
-    pub epochs: Vec<u64>,
 }
 
 /// Outcome of one [`serve_concurrent`] run — and, via `Deref`, the core
@@ -92,6 +84,8 @@ pub struct ServeReport {
     /// Per-epoch serving activity (batches, latency quantiles, kernel
     /// and store counters), epochs 1 through `final_epoch`.
     pub timeline: EpochTimeline,
+    /// How the engine ran: services, coalescing, pin cache hits, sheds.
+    pub engine: EngineStats,
     /// Set when the trainer thread panicked mid-run: the panic message.
     /// The report is then *partial* — reader outcomes and the timeline
     /// cover everything served up to the last successful publish, but
@@ -111,107 +105,50 @@ impl ServeReport {
         self.readers.iter().map(|r| r.batches).sum()
     }
 
-    /// Total snapshots audited across all readers.
+    /// Total requests answered from audited snapshots, across all
+    /// readers.
     pub fn audited(&self) -> u64 {
         self.readers.iter().map(|r| r.audited).sum()
     }
-}
 
-/// One reader worker's loop, shared by [`serve_concurrent`] and
-/// [`serve_durable`]: pin a snapshot, audit it when asked, answer one
-/// batch, attribute the work to the snapshot's epoch — until one extra
-/// drain batch after the trainer finishes.
-fn run_reader(
-    ri: usize,
-    rects: &[Rect],
-    cell: &SnapshotCell<FrozenHistogram>,
-    done: &AtomicBool,
-    readers_started: &AtomicU64,
-    batch_size: usize,
-) -> (ReaderStats, obs::Snapshot, BTreeMap<u64, EpochRow>) {
-    let _flight = obs::flight::FlightDump::new("serve reader");
-    let obs_before = obs::snapshot();
-    let audit = obs::audit_enabled();
-    let mut stats = ReaderStats::default();
-    let mut rows: BTreeMap<u64, EpochRow> = BTreeMap::new();
-    let mut out = Vec::with_capacity(batch_size);
-    // Stagger starting offsets so readers exercise different query
-    // mixes against the same snapshots.
-    let mut cursor = (ri * batch_size) % rects.len();
-    readers_started.fetch_add(1, Ordering::AcqRel);
-    loop {
-        // Read the flag *before* loading: if the trainer finished
-        // first, this load already sees the final snapshot and the
-        // batch below drains it.
-        let finished = done.load(Ordering::Acquire);
-        let snap = cell.load();
-        let epoch = snap.epoch();
-        if audit {
-            obs::incr(obs::Counter::AuditChecks);
-            stats.audited += 1;
-            if let Err(e) = snap.check_invariants() {
-                panic!("STH_AUDIT: torn snapshot at epoch {epoch}: {e}");
-            }
-        }
-        let end = (cursor + batch_size).min(rects.len());
-        let batch = &rects[cursor..end];
-        cursor = end % rects.len();
-        // `estimate_batch` clears-then-fills `out` (and routes
-        // kernel-sized batches through the lane-oriented kernel).
-        let (kernel0, pruned0, _) = counter_marks();
-        let t0 = Instant::now();
-        snap.estimate_batch(batch, &mut out);
-        let elapsed_ns = t0.elapsed().as_nanos() as u64;
-        let (kernel1, pruned1, _) = counter_marks();
-        obs::record_hist(obs::HistKind::ServeBatchFill, out.len() as u64);
-        for (est, q) in out.iter().zip(batch) {
-            assert!(
-                est.is_finite() && *est >= 0.0,
-                "bad estimate {est} for {q} at epoch {epoch}"
-            );
-        }
-        stats.answered += out.len() as u64;
-        stats.batches += 1;
-        let row = rows.entry(epoch).or_insert_with(|| EpochRow { epoch, ..EpochRow::default() });
-        row.batches += 1;
-        row.answered += out.len() as u64;
-        row.batch_ns.record(elapsed_ns);
-        row.kernel_calls += kernel1 - kernel0;
-        row.lanes_pruned += pruned1 - pruned0;
-        if finished {
-            break;
-        }
+    /// Total estimates shed by deadline admission control (zero unless
+    /// `STH_SERVE_DEADLINE_US` is set).
+    pub fn shed(&self) -> u64 {
+        self.readers.iter().map(|r| r.shed).sum()
     }
-    stats.epochs = rows.keys().copied().collect();
-    (stats, obs::snapshot().delta(&obs_before), rows)
 }
 
-/// Merges trainer and reader outcomes into the shared [`ServeReport`].
+/// The serve workload as the engine's mixed stream: single tenant 0.
+fn single_tenant_stream(serve: &Workload) -> Vec<(TenantId, Rect)> {
+    serve.queries().iter().map(|q| (0, q.rect().clone())).collect()
+}
+
+/// Merges the trainer's outcome with the engine run into the shared
+/// [`ServeReport`].
 fn finish_report(
     publishes: u64,
     final_epoch: u64,
     trainer_counters: obs::Snapshot,
     trainer_rows: BTreeMap<u64, EpochRow>,
-    reader_outcomes: Vec<(ReaderStats, obs::Snapshot, BTreeMap<u64, EpochRow>)>,
+    mut run: EngineRun,
 ) -> ServeReport {
     let mut counters = trainer_counters;
+    counters.merge(&run.obs);
     let mut epochs_observed = BTreeSet::new();
-    let mut readers = Vec::with_capacity(reader_outcomes.len());
-    let mut reader_maps = Vec::with_capacity(reader_outcomes.len());
-    for (stats, delta, rows) in reader_outcomes {
-        counters.merge(&delta);
-        epochs_observed.extend(stats.epochs.iter().copied());
-        readers.push(stats);
-        reader_maps.push(rows);
+    for stream in &run.streams {
+        epochs_observed.extend(stream.epochs.iter().copied());
     }
-    let timeline = EpochTimeline::assemble(final_epoch, reader_maps, trainer_rows);
+    // Single-tenant run: tenant 0's per-thread epoch maps are the whole
+    // attribution.
+    let timeline = EpochTimeline::assemble(final_epoch, run.tenant_rows.remove(0), trainer_rows);
     ServeReport {
         publishes,
         final_epoch,
-        readers,
+        readers: run.streams,
         epochs_observed: epochs_observed.into_iter().collect(),
         counters,
         timeline,
+        engine: run.stats,
         failure: None,
     }
 }
@@ -247,9 +184,9 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 ///
 /// The trainer refines with the same single-probe feedback discipline as
 /// [`crate::evaluate_self_tuning`] and republishes every
-/// [`ServeConfig::republish_every`] queries plus once at the end; readers
-/// run until the trainer finishes, then drain one final batch from the
-/// last snapshot.
+/// [`ServeConfig::republish_every`] queries plus once at the end; the
+/// engine's streams run until the trainer finishes, then each drains one
+/// final batch from the last snapshot.
 pub fn serve_concurrent(
     hist: &mut StHoles,
     train: &Workload,
@@ -263,21 +200,21 @@ pub fn serve_concurrent(
     assert!(!serve.is_empty(), "nothing to serve");
 
     let _span = obs::span("eval.serve_concurrent");
-    let rects: Vec<Rect> = serve.queries().iter().map(|q| q.rect().clone()).collect();
+    let stream = single_tenant_stream(serve);
 
     let cell = SnapshotCell::new(hist.freeze());
     let done = AtomicBool::new(false);
     let readers_started = AtomicU64::new(0);
 
-    let (trainer_outcome, reader_outcomes) = std::thread::scope(|s| {
+    let (trainer_outcome, run) = std::thread::scope(|s| {
         let trainer = s.spawn(|| {
             let _flight = obs::flight::FlightDump::new("serve trainer");
             let _done_guard = DoneOnDrop(&done);
             let obs_before = obs::snapshot();
-            // Hold the epoch-1 snapshot until at least one reader has
-            // pinned it, so every run provably serves across an epoch
-            // boundary. Deadlock-free: the first reader of the first
-            // scope_map chunk loads unconditionally before its loop.
+            // Hold the epoch-1 snapshot until the engine is live, so
+            // every run provably serves across an epoch boundary.
+            // Deadlock-free: every engine thread bumps the counter
+            // before its poll loop.
             while readers_started.load(Ordering::Acquire) == 0 {
                 std::thread::yield_now();
             }
@@ -296,22 +233,28 @@ pub fn serve_concurrent(
                 }
             }
             // Always publish the fully trained histogram before signaling
-            // completion: the readers' drain batch serves from it.
+            // completion: the streams' drain batches serve from it.
             let final_epoch = cell.publish(hist.freeze());
             publishes += 1;
             done.store(true, Ordering::Release);
             (publishes, final_epoch, obs::snapshot().delta(&obs_before))
         });
 
-        let ids: Vec<usize> = (0..cfg.readers).collect();
-        let outcomes = sth_platform::par::scope_map(&ids, |&ri| {
-            run_reader(ri, &rects, &cell, &done, &readers_started, cfg.batch)
-        });
-        (trainer.join(), outcomes)
+        let backend = CellBackend::new(&cell);
+        let run = serve_closed(
+            &backend,
+            &stream,
+            cfg.readers,
+            cfg.batch,
+            &EngineConfig::from_env(),
+            &done,
+            &readers_started,
+        );
+        (trainer.join(), run)
     });
 
-    // A trainer panic must not discard what the readers did: the done
-    // guard released them, their outcomes are in hand, and the cell still
+    // A trainer panic must not discard what the engine served: the done
+    // guard released the streams, the run is in hand, and the cell still
     // knows the last successful publish. (With `STH_FLIGHT` set, the
     // trainer's `FlightDump` guard already dumped the pre-panic ring.)
     let (publishes, final_epoch, trainer_counters, failure) = match trainer_outcome {
@@ -320,8 +263,7 @@ pub fn serve_concurrent(
             (cell.epoch() - 1, cell.epoch(), obs::Snapshot::default(), Some(panic_message(payload)))
         }
     };
-    let mut report =
-        finish_report(publishes, final_epoch, trainer_counters, BTreeMap::new(), reader_outcomes);
+    let mut report = finish_report(publishes, final_epoch, trainer_counters, BTreeMap::new(), run);
     report.failure = failure;
     if obs::event_enabled() {
         obs::event(
@@ -397,13 +339,13 @@ pub fn serve_durable(
     assert!(!serve.is_empty(), "nothing to serve");
 
     let _span = obs::span("eval.serve_durable");
-    let rects: Vec<Rect> = serve.queries().iter().map(|q| q.rect().clone()).collect();
+    let stream = single_tenant_stream(serve);
 
     let cell = SnapshotCell::new(trainer.freeze());
     let done = AtomicBool::new(false);
     let readers_started = AtomicU64::new(0);
 
-    let (trainer_outcome, reader_outcomes) = std::thread::scope(|s| {
+    let (trainer_outcome, run) = std::thread::scope(|s| {
         let trainer_handle = s.spawn(|| {
             let _flight = obs::flight::FlightDump::new("durable trainer");
             let _done_guard = DoneOnDrop(&done);
@@ -452,11 +394,17 @@ pub fn serve_durable(
             (publishes, flushes, final_epoch, failure, rows, obs::snapshot().delta(&obs_before))
         });
 
-        let ids: Vec<usize> = (0..cfg.readers).collect();
-        let outcomes = sth_platform::par::scope_map(&ids, |&ri| {
-            run_reader(ri, &rects, &cell, &done, &readers_started, cfg.batch)
-        });
-        (trainer_handle.join(), outcomes)
+        let backend = CellBackend::new(&cell);
+        let run = serve_closed(
+            &backend,
+            &stream,
+            cfg.readers,
+            cfg.batch,
+            &EngineConfig::from_env(),
+            &done,
+            &readers_started,
+        );
+        (trainer_handle.join(), run)
     });
 
     // Same partial-report policy as `serve_concurrent`: a trainer panic
@@ -480,8 +428,7 @@ pub fn serve_durable(
     if let Some(e) = store_failure {
         return Err(e);
     }
-    let mut serve_report =
-        finish_report(publishes, final_epoch, trainer_counters, trainer_rows, reader_outcomes);
+    let mut serve_report = finish_report(publishes, final_epoch, trainer_counters, trainer_rows, run);
     serve_report.failure = panic;
     let report = DurableServeReport {
         serve: serve_report,
@@ -540,6 +487,9 @@ mod tests {
             assert!(r.answered >= 1);
         }
         assert!(report.answered() >= cfg.batch as u64);
+        // Deadlines are disabled by default: nothing sheds, ever.
+        assert_eq!(report.shed(), 0);
+        assert_eq!(report.engine.shed_requests, 0);
     }
 
     #[test]
@@ -575,21 +525,32 @@ mod tests {
         let (mut hist, train, serve, index) = fixture();
         let cfg = ServeConfig { readers: 2, batch: 8, republish_every: 25 };
         let report = serve_concurrent(&mut hist, &train, &serve, &index, &cfg);
+        // Every answered request came off an audited snapshot: the audit
+        // runs once per fresh pin, and a request only completes against a
+        // pin that passed it.
         assert_eq!(report.audited(), report.batches());
-        // Publish/load traffic shows up in the merged obs delta: the
-        // trainer's publishes plus the initial freeze-before-scope load
-        // traffic from the readers.
+        assert_eq!(report.engine.audits, report.engine.pins);
+        assert!(report.engine.pins >= 2, "the epoch moved, so the engine repinned");
+        // Publish traffic shows up in the merged obs delta; load traffic
+        // is now pin-cached, so snapshot loads equal fresh pins rather
+        // than batches.
         assert_eq!(report.counters.get(obs::Counter::SnapshotPublishes), report.publishes);
-        assert_eq!(report.counters.get(obs::Counter::SnapshotLoads), report.batches());
+        assert_eq!(report.counters.get(obs::Counter::SnapshotLoads), report.engine.pins);
         // With metrics on, the serve-path histograms populate: one batch
-        // fill sample and one kernel-level latency sample per batch (the
-        // 8-query batches here ride the scalar path, so only kernel-sized
-        // ones would add lane samples).
+        // fill sample per completed stream batch, one estimate-latency
+        // sample per engine service (coalescing makes services <= batches),
+        // and one queue-wait sample per answered request.
         assert_eq!(report.counters.hist(obs::HistKind::ServeBatchFill).count(), report.batches());
         assert_eq!(
             report.counters.hist(obs::HistKind::BatchEstimateNs).count(),
+            report.engine.services
+        );
+        assert!(report.engine.services <= report.batches());
+        assert_eq!(
+            report.counters.hist(obs::HistKind::ServeQueueNs).count(),
             report.batches()
         );
+        assert_eq!(report.counters.get(obs::Counter::EngineServices), report.engine.services);
         assert!(report.counters.hist(obs::HistKind::RefineNs).count() > 0);
         obs::force_audit(false);
         obs::force_metrics(false);

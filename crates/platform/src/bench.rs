@@ -409,13 +409,6 @@ pub struct GateReport {
     pub failures: Vec<String>,
 }
 
-/// Compares `fresh` medians against `baseline` for benchmarks whose group
-/// is in `groups`. A benchmark fails when
-/// `fresh > baseline * (1 + max_regression)` (e.g. `0.30` allows 30%
-/// slack — fast-mode runs on shared machines are noisy). Benchmarks
-/// present in only one report are noted but never fail the gate, so
-/// adding or retiring benchmarks doesn't require touching the baseline
-/// in the same commit.
 /// Absolute regression floor for [`compare_reports`]: nanosecond-scale
 /// medians (the `obs_overhead` disabled-cost pins sit at 0.4–4 ns)
 /// quantize at timer resolution, so a percentage threshold alone flaps
@@ -425,6 +418,13 @@ pub struct GateReport {
 /// ns), while one-tick jitter passes.
 pub const GATE_NOISE_FLOOR_NS: f64 = 10.0;
 
+/// Compares `fresh` medians against `baseline` for benchmarks whose group
+/// is in `groups`. A benchmark fails when
+/// `fresh > baseline * (1 + max_regression)` (e.g. `0.30` allows 30%
+/// slack — fast-mode runs on shared machines are noisy) *and* the
+/// regression exceeds [`GATE_NOISE_FLOOR_NS`]. Benchmarks present in only
+/// one report are noted but never fail the gate, so adding or retiring
+/// benchmarks doesn't require touching the baseline in the same commit.
 pub fn compare_reports(
     baseline: &[ReportEntry],
     fresh: &[ReportEntry],

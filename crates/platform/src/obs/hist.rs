@@ -309,11 +309,15 @@ pub enum HistKind {
     KernelNodeLanes,
     /// Queries per served batch (the serve loop's queue-depth proxy).
     ServeBatchFill,
+    /// Nanoseconds a request waited in an engine queue before its service
+    /// started (offered → popped); the admission-control signal the
+    /// deadline check reads.
+    ServeQueueNs,
 }
 
 impl HistKind {
     /// Every histogram kind, in JSON/report order.
-    pub const ALL: [HistKind; 7] = [
+    pub const ALL: [HistKind; 8] = [
         HistKind::BatchEstimateNs,
         HistKind::RefineNs,
         HistKind::StoreAppendNs,
@@ -321,6 +325,7 @@ impl HistKind {
         HistKind::StoreRecoverNs,
         HistKind::KernelNodeLanes,
         HistKind::ServeBatchFill,
+        HistKind::ServeQueueNs,
     ];
 
     /// Stable snake_case name used in event-log JSON.
@@ -333,6 +338,7 @@ impl HistKind {
             HistKind::StoreRecoverNs => "store_recover_ns",
             HistKind::KernelNodeLanes => "kernel_node_lanes",
             HistKind::ServeBatchFill => "serve_batch_fill",
+            HistKind::ServeQueueNs => "serve_queue_ns",
         }
     }
 }

@@ -115,11 +115,20 @@ pub enum Counter {
     /// Shard republishes skipped because the shard's content was
     /// bit-identical to the published snapshot.
     ShardPublishesSkipped,
+    /// Coalesced estimate services executed by the serve engine (one per
+    /// `estimate_batch` call the reactor issues against a pinned
+    /// snapshot, covering one or more queued requests).
+    EngineServices,
+    /// Engine services that answered more than one queued request in a
+    /// single batch — the coalescing win counter.
+    EngineCoalescedBatches,
+    /// Queries dropped by the serve engine's deadline admission control.
+    EngineShedQueries,
 }
 
 impl Counter {
     /// Every counter, in JSON/report order.
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 29] = [
         Counter::Queries,
         Counter::IndexProbes,
         Counter::ResultRows,
@@ -146,6 +155,9 @@ impl Counter {
         Counter::RegistryRoutes,
         Counter::ShardPublishes,
         Counter::ShardPublishesSkipped,
+        Counter::EngineServices,
+        Counter::EngineCoalescedBatches,
+        Counter::EngineShedQueries,
     ];
 
     /// Stable snake_case name used in event-log JSON.
@@ -177,6 +189,9 @@ impl Counter {
             Counter::RegistryRoutes => "registry_routes",
             Counter::ShardPublishes => "shard_publishes",
             Counter::ShardPublishesSkipped => "shard_publishes_skipped",
+            Counter::EngineServices => "engine_services",
+            Counter::EngineCoalescedBatches => "engine_coalesced_batches",
+            Counter::EngineShedQueries => "engine_shed_queries",
         }
     }
 }

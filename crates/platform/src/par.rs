@@ -88,6 +88,52 @@ where
     out
 }
 
+/// Spawns exactly `n` scoped worker threads running `f(worker_index)` and
+/// joins them all, returning results in worker order.
+///
+/// Unlike [`scope_map`], which chunks *items* across a bounded pool and
+/// runs each chunk sequentially, every worker here runs concurrently for
+/// the whole call — the shape a polling engine needs, where each worker
+/// multiplexes many logical streams and must keep making progress while
+/// its siblings do. With `n <= 1` this degrades to a plain call with no
+/// spawn.
+///
+/// A panic in any worker is re-raised with its *original payload* after
+/// every worker has been joined, so engine loops that release each other
+/// through shared flags get to drain before the panic propagates.
+pub fn scope_workers<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![f(0)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let f = &f;
+                scope.spawn(move || f(i))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(r) => out.push(r),
+                Err(payload) => panic = Some(payload),
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +180,39 @@ mod tests {
     #[test]
     fn worker_count_is_positive() {
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn scope_workers_runs_every_worker_concurrently() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Every worker blocks until all have started: only true
+        // all-concurrent scheduling can finish this.
+        let started = AtomicUsize::new(0);
+        let n = 4;
+        let out = scope_workers(n, |i| {
+            started.fetch_add(1, Ordering::AcqRel);
+            while started.load(Ordering::Acquire) < n {
+                std::thread::yield_now();
+            }
+            i * 2
+        });
+        assert_eq!(out, vec![0, 2, 4, 6]);
+        assert!(scope_workers(0, |i| i).is_empty());
+        assert_eq!(scope_workers(1, |i| i + 9), vec![9]);
+    }
+
+    #[test]
+    fn scope_workers_propagates_the_original_panic_payload() {
+        let result = std::panic::catch_unwind(|| {
+            scope_workers(3, |i| {
+                if i == 1 {
+                    panic!("worker {i} exploded");
+                }
+                i
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert_eq!(msg, "worker 1 exploded");
     }
 }

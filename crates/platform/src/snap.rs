@@ -76,6 +76,26 @@ impl<T> SnapshotCell<T> {
         SnapshotGuard { snap, epoch }
     }
 
+    /// Pins the current snapshot only if it is newer than `seen` — the
+    /// pin-caching primitive for serving engines that hold one guard
+    /// across many batches. Returns `None` when the cell's epoch still
+    /// equals `seen`, meaning the caller's cached guard is current (the
+    /// epoch is monotone, so equality is the only "unchanged" case).
+    /// Epochs start at 1, so `seen = 0` never matches and doubles as the
+    /// "nothing cached yet" sentinel.
+    ///
+    /// The unlocked epoch read can race a concurrent publish; both
+    /// outcomes are sound. Seeing the old epoch returns `None` — exactly
+    /// what an ordinary `load` a moment earlier would have pinned. Seeing
+    /// the new epoch falls through to [`SnapshotCell::load`], which reads
+    /// the (value, epoch) pair coherently under the lock.
+    pub fn load_if_newer(&self, seen: u64) -> Option<SnapshotGuard<T>> {
+        if self.epoch.load(Ordering::Acquire) == seen {
+            return None;
+        }
+        Some(self.load())
+    }
+
     /// The epoch of the most recent publish (1 if none yet).
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Acquire)
@@ -174,6 +194,21 @@ mod tests {
         // The old guard still pins the old snapshot.
         assert_eq!(*before, vec![1, 2, 3]);
         assert_eq!(before.epoch(), 1);
+    }
+
+    #[test]
+    fn load_if_newer_only_repins_on_epoch_movement() {
+        let cell = SnapshotCell::new(10u32);
+        // Sentinel 0 always pins.
+        let g = cell.load_if_newer(0).expect("sentinel must pin");
+        assert_eq!((*g, g.epoch()), (10, 1));
+        // Current epoch: cache hit, no guard.
+        assert!(cell.load_if_newer(g.epoch()).is_none());
+        // A publish moves the epoch: the stale cache must be replaced.
+        cell.publish(20);
+        let g2 = cell.load_if_newer(g.epoch()).expect("stale cache must repin");
+        assert_eq!((*g2, g2.epoch()), (20, 2));
+        assert!(cell.load_if_newer(2).is_none());
     }
 
     #[test]

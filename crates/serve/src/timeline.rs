@@ -1,18 +1,17 @@
 //! Epoch-aligned serve timeline: what the serving tier did during each
 //! published snapshot generation.
 //!
-//! [`serve_concurrent`](crate::serve_concurrent) and
-//! [`serve_durable`](crate::serve_durable) readers attribute every batch
-//! to the epoch of the snapshot that answered it; the trainer attributes
-//! store flushes to the epoch that was current when they happened. The
-//! merged [`EpochTimeline`] rides on the serve reports and renders both
-//! ways: [`EpochTimeline::to_json`] for machines,
+//! The engine attributes every answered request to the epoch of the
+//! snapshot that answered it; trainers attribute store flushes to the
+//! epoch that was current when they happened. The merged [`EpochTimeline`]
+//! rides on the serve reports and renders both ways:
+//! [`EpochTimeline::to_json`] for machines,
 //! [`EpochTimeline::render_table`] for eyes.
 //!
-//! Batch latencies are measured directly in the reader loop (always on —
-//! the timeline does not depend on `STH_METRICS`); kernel lane counters
-//! and store bytes come from the [`obs`] counters and are zero when
-//! metrics are disabled.
+//! Request latencies are measured directly in the engine (always on — the
+//! timeline does not depend on `STH_METRICS`); kernel lane counters and
+//! store bytes come from the [`obs`] counters and are zero when metrics
+//! are disabled.
 
 use std::collections::BTreeMap;
 
@@ -26,15 +25,15 @@ pub struct EpochRow {
     /// Publishes that created this epoch: 0 for the initial snapshot
     /// (epoch 1), 1 for every republish.
     pub publishes: u64,
-    /// Batches answered from this epoch across all readers.
+    /// Requests answered from this epoch across all engine threads.
     pub batches: u64,
     /// Individual estimates answered from this epoch.
     pub answered: u64,
-    /// Wall-clock nanoseconds per served batch (mergeable histogram;
-    /// p50/p99/p999 come from here).
+    /// Wall-clock nanoseconds per answered request, queue wait included
+    /// (mergeable histogram; p50/p99/p999 come from here).
     pub batch_ns: ValueHist,
     /// Lane-kernel invocations while serving this epoch (0 when
-    /// `STH_METRICS` is off or batches stayed below the kernel floor).
+    /// `STH_METRICS` is off or services stayed below the kernel floor).
     pub kernel_calls: u64,
     /// Kernel lanes pruned by the hull gate while serving this epoch.
     pub lanes_pruned: u64,
@@ -48,7 +47,8 @@ pub struct EpochRow {
 
 impl EpochRow {
     /// Folds another partial row for the same epoch (e.g. from a second
-    /// reader) into this one. Histogram merge keeps quantiles exact.
+    /// engine thread) into this one. Histogram merge keeps quantiles
+    /// exact.
     pub fn absorb(&mut self, other: &EpochRow) {
         debug_assert_eq!(self.epoch, other.epoch);
         self.publishes += other.publishes;
@@ -71,10 +71,10 @@ pub struct EpochTimeline {
 }
 
 impl EpochTimeline {
-    /// Assembles the timeline from per-reader epoch maps plus the
+    /// Assembles the timeline from per-thread epoch maps plus the
     /// trainer's per-epoch store activity. Every epoch `1..=final_epoch`
-    /// gets a row, even if no reader happened to serve from it.
-    pub(crate) fn assemble(
+    /// gets a row, even if nothing happened to be served from it.
+    pub fn assemble(
         final_epoch: u64,
         reader_maps: Vec<BTreeMap<u64, EpochRow>>,
         trainer_rows: BTreeMap<u64, EpochRow>,
@@ -100,12 +100,12 @@ impl EpochTimeline {
         self.rows.iter().find(|r| r.epoch == epoch)
     }
 
-    /// Total batches across all epochs.
+    /// Total requests across all epochs.
     pub fn batches(&self) -> u64 {
         self.rows.iter().map(|r| r.batches).sum()
     }
 
-    /// All batch latencies collapsed into one distribution.
+    /// All request latencies collapsed into one distribution.
     pub fn batch_ns_overall(&self) -> ValueHist {
         let mut all = ValueHist::new();
         for r in &self.rows {
@@ -114,8 +114,8 @@ impl EpochTimeline {
         all
     }
 
-    /// The timeline as one JSON array of epoch objects (batch latency in
-    /// the same shape as [`ValueHist::to_json`]).
+    /// The timeline as one JSON array of epoch objects (latency in the
+    /// same shape as [`ValueHist::to_json`]).
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::from("[");
@@ -186,9 +186,9 @@ impl EpochTimeline {
     }
 }
 
-/// Reads the kernel/store counters that the serve loops difference to
-/// attribute per-batch work: (kernel calls, lanes pruned, store bytes).
-pub(crate) fn counter_marks() -> (u64, u64, u64) {
+/// Reads the kernel/store counters that the engine differences to
+/// attribute per-service work: (kernel calls, lanes pruned, store bytes).
+pub fn counter_marks() -> (u64, u64, u64) {
     (
         obs::read(obs::Counter::BatchKernelCalls),
         obs::read(obs::Counter::BatchLanesPruned),

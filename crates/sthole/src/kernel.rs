@@ -44,7 +44,7 @@ use crate::FrozenHistogram;
 /// Batches below this size take the scalar per-query loop: the kernel's
 /// per-call setup (worklist arrays, query packing) only pays for itself
 /// once several queries share traversal work.
-pub(crate) const KERNEL_MIN_BATCH: usize = 8;
+pub const KERNEL_MIN_BATCH: usize = 8;
 
 /// Compare-select minimum. Equivalent to [`f64::min`] for the finite
 /// operands this kernel sees ([`Rect`] construction rejects non-finite

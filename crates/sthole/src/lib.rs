@@ -41,6 +41,7 @@ pub use arena::{Bucket, BucketArena, BucketId};
 pub use consistency::{ConsistencyConfig, ConsistentStHoles};
 pub use frozen::FrozenHistogram;
 pub use histogram::{MergePolicy, StHoles, SthConfig};
+pub use kernel::KERNEL_MIN_BATCH;
 pub use merge::{MergeOp, MergePenalty, ParentMerges};
 pub use persist::DecodeError;
 pub use shard::{FrozenShard, ShardedFrozen, ThinRoot};

@@ -92,10 +92,13 @@ fn main() {
         );
     }
     // Audit mode was forced on: every loaded snapshot was invariant-checked
-    // before a single estimate was served from it.
+    // before a single estimate was served from it. The engine pins a fresh
+    // snapshot only when the epoch moved, audits exactly then, and every
+    // answered batch rode an audited pin.
     assert_eq!(report.audited(), report.batches(), "unaudited snapshot load");
     assert_eq!(report.counters.get(obs::Counter::SnapshotPublishes), report.publishes);
-    assert_eq!(report.counters.get(obs::Counter::SnapshotLoads), report.batches());
+    assert_eq!(report.counters.get(obs::Counter::SnapshotLoads), report.engine.pins);
+    assert_eq!(report.engine.audits, report.engine.pins, "every fresh pin audited");
 
     // The serve loop's last snapshot is the fully trained histogram:
     // freezing again must reproduce the live estimates bit for bit.

@@ -91,12 +91,15 @@ fn main() {
         report.timeline.rows.iter().map(|r| r.kernel_calls).sum::<u64>() > 0,
         "kernel-sized batches must surface kernel calls in the timeline"
     );
-    // The mergeable histograms ride the obs snapshot: the same batch count
-    // shows up in the provenance-carried hist as in the timeline.
+    // The mergeable histograms ride the obs snapshot: the engine records
+    // one kernel-latency sample per *service* (a service may coalesce
+    // several stream batches into one estimate_batch call), and one
+    // fill sample per completed batch.
     assert_eq!(
         report.counters.hist(obs::HistKind::BatchEstimateNs).count(),
-        report.batches()
+        report.engine.services
     );
+    assert!(report.engine.services <= report.batches(), "coalescing never splits batches");
     assert_eq!(
         report.counters.hist(obs::HistKind::ServeBatchFill).count(),
         report.batches()

@@ -57,6 +57,16 @@ STH_METRICS=1 STH_FLIGHT=1 \
     cargo run -q --release --offline --example telemetry > /dev/null
 echo "verify: telemetry example OK"
 
+# Reactor acceptance: the closed-loop load generator sweeps offered
+# throughput against the poll-based serving engine (2 threads, 4-query
+# requests) and prints p50/p99 latency, shed rate and goodput per point.
+# The example asserts exact offered == answered + shed accounting at
+# every operating point, that saturation makes the engine coalesce past
+# the kernel threshold, and that coalescing sustains at least the
+# goodput of one-request-per-service at equal thread count.
+cargo run -q --release --offline --example reactor
+echo "verify: reactor example OK"
+
 # Opt-in perf stage (not tier-1): smoke-run the core_ops benches and fail
 # on large median regressions against the committed baseline.
 if [[ "${STH_VERIFY_BENCH:-0}" == "1" ]]; then

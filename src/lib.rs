@@ -16,7 +16,10 @@
 //! * [`baselines`], [`eval`] — reference estimators and the experiment
 //!   harness regenerating every table/figure of the paper;
 //! * [`store::Store`] — a durable snapshot + delta-log store with
-//!   crash-consistent, bit-identical recovery of a training run.
+//!   crash-consistent, bit-identical recovery of a training run;
+//! * [`serve`] — the poll-based serving engine: a few threads multiplex
+//!   many estimate streams over pinned snapshots, coalescing compatible
+//!   requests for the batch kernel, with deadline-based load shedding.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@ pub use sth_index as index;
 pub use sth_mineclus as mineclus;
 pub use sth_platform as platform;
 pub use sth_query as query;
+pub use sth_serve as serve;
 pub use sth_store as store;
 
 /// The most common imports, re-exported flat.
